@@ -1,0 +1,285 @@
+// Package adsm is a software distributed shared memory (DSM) system
+// implementing the adaptive lazy-release-consistency protocols of Amza,
+// Cox, Dwarkadas and Zwaenepoel, "Software DSM Protocols that Adapt
+// between Single Writer and Multiple Writer" (HPCA 1997).
+//
+// Four protocols are provided:
+//
+//   - MW — the TreadMarks multiple-writer protocol (twins and diffs),
+//   - SW — a CVM-like single-writer protocol (page ownership, versions),
+//   - WFS — adapts per page between SW and MW on write-write false
+//     sharing, detected by the ownership refusal protocol,
+//   - WFSWG — WFS plus write-granularity adaptation (3 KB threshold).
+//
+// Programs are SPMD: the same body runs on every simulated processor,
+// communicating only through the shared segment and the lock/barrier
+// primitives, exactly like a TreadMarks application:
+//
+//	cl := adsm.NewCluster(adsm.Config{Procs: 8, Protocol: adsm.WFS})
+//	x := cl.Alloc(8)
+//	report, err := cl.Run(func(w *adsm.Worker) {
+//	    w.Lock(0)
+//	    w.WriteU64(x, w.ReadU64(x)+1)
+//	    w.Unlock(0)
+//	    w.Barrier()
+//	})
+//
+// The cluster is a deterministic discrete-event simulation calibrated to
+// the paper's platform (8 SPARC-20s on 155 Mbps ATM: 1 ms small-message
+// round trip, 1921 us remote page miss, 104 us twin, 179 us diff), so
+// reports carry both the virtual execution time and the full protocol
+// statistics needed to reproduce the paper's tables and figures.
+package adsm
+
+import (
+	"fmt"
+	"time"
+
+	"adsm/internal/core"
+	"adsm/internal/mem"
+	"adsm/internal/sim"
+	"adsm/internal/stats"
+)
+
+// PageSize is the coherence unit (4096 bytes, as in the paper).
+const PageSize = mem.PageSize
+
+// Protocol selects the coherence protocol for a cluster.
+type Protocol int
+
+const (
+	// MW is the TreadMarks multiple-writer protocol.
+	MW Protocol = iota
+	// SW is the CVM-like single-writer protocol.
+	SW
+	// WFS adapts between SW and MW based on write-write false sharing.
+	WFS
+	// WFSWG adapts based on false sharing and write granularity.
+	WFSWG
+)
+
+// Protocols lists all four protocols in the paper's presentation order
+// (Figure 2: MW, WFS+WG, WFS, SW).
+var Protocols = []Protocol{MW, WFSWG, WFS, SW}
+
+func (p Protocol) String() string { return p.core().String() }
+
+func (p Protocol) core() core.Protocol {
+	switch p {
+	case MW:
+		return core.MW
+	case SW:
+		return core.SW
+	case WFS:
+		return core.WFS
+	case WFSWG:
+		return core.WFSWG
+	}
+	panic(fmt.Sprintf("adsm: unknown protocol %d", int(p)))
+}
+
+// Config describes a cluster. Zero values select the paper's defaults.
+type Config struct {
+	// Procs is the number of processors (default 8, the paper's cluster).
+	Procs int
+	// Protocol selects the coherence protocol (default MW).
+	Protocol Protocol
+	// SharedBytes bounds the shared segment (default 64 MB).
+	SharedBytes int
+	// DiffSpaceLimit is the per-node twin+diff pool size that triggers
+	// garbage collection at the next barrier (default 1 MB).
+	DiffSpaceLimit int64
+	// WGThreshold is the WFS+WG diff-size threshold (default 3 KB).
+	WGThreshold int
+	// OwnershipQuantum is the SW protocol's minimum ownership tenure
+	// (default 1 ms).
+	OwnershipQuantum time.Duration
+	// CollectDiffTimeline records the cluster-wide live-diff count over
+	// time (the paper's Figure 3).
+	CollectDiffTimeline bool
+}
+
+// Cluster is a simulated DSM machine. Allocate shared memory with Alloc,
+// then execute an SPMD program with Run (once per cluster).
+type Cluster struct {
+	c      *core.Cluster
+	cfg    Config
+	series *stats.Series
+	ran    bool
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Procs == 0 {
+		cfg.Procs = 8
+	}
+	p := core.DefaultParams(cfg.Procs)
+	p.Protocol = cfg.Protocol.core()
+	if cfg.SharedBytes > 0 {
+		p.MaxSharedBytes = cfg.SharedBytes
+	}
+	if cfg.DiffSpaceLimit > 0 {
+		p.DiffSpaceLimit = cfg.DiffSpaceLimit
+	}
+	if cfg.WGThreshold > 0 {
+		p.WGThreshold = cfg.WGThreshold
+	}
+	if cfg.OwnershipQuantum > 0 {
+		p.OwnershipQuantum = sim.Time(cfg.OwnershipQuantum)
+	}
+	cl := &Cluster{c: core.New(p), cfg: cfg}
+	if cfg.CollectDiffTimeline {
+		cl.series = &stats.Series{Name: "live-diffs"}
+		cl.c.DiffSeries = cl.series
+	}
+	return cl
+}
+
+// Addr is a byte address within the shared segment.
+type Addr = int
+
+// Alloc reserves n bytes of zeroed shared memory (8-byte aligned). The
+// pages are initially owned by processor 0, like Tmk_malloc. Must be
+// called before Run.
+func (cl *Cluster) Alloc(n int) Addr {
+	if cl.ran {
+		panic("adsm: Alloc after Run")
+	}
+	return cl.c.Alloc(n)
+}
+
+// AllocPageAligned reserves n bytes starting on a page boundary; use it to
+// control how data structures map onto coherence units.
+func (cl *Cluster) AllocPageAligned(n int) Addr {
+	if cl.ran {
+		panic("adsm: Alloc after Run")
+	}
+	return cl.c.AllocPageAligned(n)
+}
+
+// Run executes program on every processor and returns the report. A
+// cluster can run only once.
+func (cl *Cluster) Run(program func(w *Worker)) (*Report, error) {
+	if cl.ran {
+		return nil, fmt.Errorf("adsm: cluster already ran")
+	}
+	cl.ran = true
+	elapsed, err := cl.c.Run(func(n *core.Node) {
+		program(&Worker{n: n})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl.report(elapsed), nil
+}
+
+// report assembles the public Report from internal counters.
+func (cl *Cluster) report(elapsed sim.Time) *Report {
+	tot := cl.c.Totals()
+	ch := cl.c.Detector().Characteristics((cl.c.Allocated() + PageSize - 1) / PageSize)
+	r := &Report{
+		Protocol: cl.cfg.Protocol,
+		Procs:    cl.cfg.Procs,
+		Elapsed:  elapsed.Duration(),
+		Stats: Stats{
+			Messages:          cl.c.Net().TotalMsgs(),
+			DataBytes:         cl.c.Net().TotalBytes(),
+			ReadFaults:        tot.ReadFaults,
+			WriteFaults:       tot.WriteFaults,
+			PageFetches:       tot.PageFetches,
+			OwnershipRequests: tot.OwnReqs,
+			OwnershipGrants:   tot.OwnGrants,
+			OwnershipRefusals: tot.OwnRefusals,
+			Forwards:          tot.Forwards,
+			TwinsCreated:      tot.TwinsCreated,
+			DiffsCreated:      tot.DiffsCreated,
+			DiffsApplied:      tot.DiffsApplied,
+			TwinBytes:         tot.CumTwinBytes,
+			DiffBytes:         tot.CumDiffBytes,
+			MaxLiveTwinDiff:   tot.MaxLiveBytes,
+			LockAcquires:      tot.LockAcquires,
+			Barriers:          tot.Barriers,
+			SWtoMW:            tot.SWtoMW,
+			MWtoSW:            tot.MWtoSW,
+			GCRuns:            cl.c.GCRuns(),
+		},
+		Sharing: Sharing{
+			SharedPages:  ch.SharedPages,
+			WrittenPages: ch.WrittenPages,
+			FSPages:      ch.FSPages,
+			FSPercent:    ch.FSPercent,
+			AvgDiffBytes: ch.AvgDiffBytes,
+			MaxDiffBytes: ch.MaxDiffBytes,
+		},
+	}
+	if cl.series != nil {
+		r.DiffTimeline = make([]TimelinePoint, 0, len(cl.series.Points))
+		for _, p := range cl.series.Points {
+			r.DiffTimeline = append(r.DiffTimeline, TimelinePoint{
+				T:         time.Duration(p.T),
+				LiveDiffs: p.V,
+			})
+		}
+	}
+	return r
+}
+
+// Stats aggregates the protocol counters across all processors.
+type Stats struct {
+	Messages          int64
+	DataBytes         int64
+	ReadFaults        int64
+	WriteFaults       int64
+	PageFetches       int64
+	OwnershipRequests int64
+	OwnershipGrants   int64
+	OwnershipRefusals int64
+	Forwards          int64
+	TwinsCreated      int64
+	DiffsCreated      int64
+	DiffsApplied      int64
+	TwinBytes         int64 // cumulative bytes allocated for twins
+	DiffBytes         int64 // cumulative bytes allocated for diffs
+	MaxLiveTwinDiff   int64 // high-water mark of the twin+diff pools
+	LockAcquires      int64
+	Barriers          int64
+	SWtoMW            int64 // page-mode transitions (adaptive protocols)
+	MWtoSW            int64
+	GCRuns            int64
+}
+
+// Sharing summarizes the measured application characteristics (the
+// paper's Table 2): write-write false sharing and write granularity.
+type Sharing struct {
+	SharedPages  int
+	WrittenPages int
+	FSPages      int
+	FSPercent    float64
+	AvgDiffBytes float64
+	MaxDiffBytes int
+}
+
+// TimelinePoint is one sample of the live-diff-count timeline (Figure 3).
+type TimelinePoint struct {
+	T         time.Duration
+	LiveDiffs int64
+}
+
+// Report is the result of one cluster execution.
+type Report struct {
+	Protocol     Protocol
+	Procs        int
+	Elapsed      time.Duration
+	Stats        Stats
+	Sharing      Sharing
+	DiffTimeline []TimelinePoint
+}
+
+// MemoryMB returns the cumulative twin+diff memory in megabytes (the
+// paper's Table 3 metric).
+func (r *Report) MemoryMB() float64 {
+	return float64(r.Stats.TwinBytes+r.Stats.DiffBytes) / (1 << 20)
+}
+
+// DataMB returns the total data moved in megabytes (Table 4).
+func (r *Report) DataMB() float64 { return float64(r.Stats.DataBytes) / (1 << 20) }

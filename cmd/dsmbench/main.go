@@ -1,0 +1,66 @@
+// Command dsmbench reproduces the paper's evaluation: each table and
+// figure of Amza et al. (HPCA 1997) can be regenerated individually or as
+// a whole.
+//
+// Usage:
+//
+//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation]
+//	         [-quick] [-procs N] [-fig3csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adsm/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation")
+	quick := flag.Bool("quick", false, "use reduced inputs (fast, for smoke testing)")
+	procs := flag.Int("procs", 8, "number of processors (the paper used 8)")
+	fig3csv := flag.Bool("fig3csv", false, "emit the Figure 3 timelines as CSV instead of the summary")
+	flag.Parse()
+
+	m := harness.NewMatrix(*quick)
+	m.Procs = *procs
+
+	run := func(name string, f func() string) {
+		fmt.Println(f())
+		fmt.Println()
+		_ = name
+	}
+
+	switch *exp {
+	case "all":
+		run("table1", m.Table1)
+		run("table2", m.Table2)
+		run("fig2", m.Figure2)
+		run("table3", m.Table3)
+		run("table4", m.Table4)
+		run("fig3", m.Figure3)
+		run("ablation", m.Ablations)
+	case "table1":
+		run(*exp, m.Table1)
+	case "table2":
+		run(*exp, m.Table2)
+	case "table3":
+		run(*exp, m.Table3)
+	case "table4":
+		run(*exp, m.Table4)
+	case "fig2":
+		run(*exp, m.Figure2)
+	case "fig3":
+		if *fig3csv {
+			fmt.Print(m.Figure3CSV())
+		} else {
+			run(*exp, m.Figure3)
+		}
+	case "ablation":
+		run(*exp, m.Ablations)
+	default:
+		fmt.Fprintf(os.Stderr, "dsmbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"adsm"
+)
+
+// Shallow is the NCAR shallow-water weather model (Sadourny's
+// finite-difference scheme): thirteen 2D grids updated in three phases per
+// time step, parallelized in bands with sharing only across band edges.
+// The 144-column rows (1152 bytes) do not tile pages, so band boundaries
+// fall inside pages: the moderate write-write false sharing of Table 2
+// (13.9% in the paper). WFS's per-page adaptation shines here: boundary
+// pages go MW, interior pages stay SW.
+type Shallow struct {
+	rows, cols, iters int
+	elemCost          time.Duration
+
+	// Thirteen grids as in the original code.
+	u, v, p       adsm.Addr
+	unew, vnew    adsm.Addr
+	pnew          adsm.Addr
+	uold, vold    adsm.Addr
+	pold          adsm.Addr
+	cu, cv, z, h  adsm.Addr
+	chk           adsm.Addr
+	result        float64
+	gridWordBytes int
+}
+
+// NewShallow builds the Shallow instance (quick: 48x72 x4; full: 128x144
+// x16 — the paper used 1024x256).
+func NewShallow(quick bool) *Shallow {
+	sh := &Shallow{rows: 128, cols: 144, iters: 16, elemCost: 3 * time.Microsecond}
+	if quick {
+		sh.rows, sh.cols, sh.iters = 48, 72, 4
+	}
+	return sh
+}
+
+func (sh *Shallow) Name() string { return "Shallow" }
+func (sh *Shallow) Sync() string { return "b" }
+func (sh *Shallow) DataSet() string {
+	return fmt.Sprintf("%dx%d grids, %d steps", sh.rows, sh.cols, sh.iters)
+}
+func (sh *Shallow) Result() float64 { return sh.result }
+
+// Setup allocates the thirteen grids page-aligned: false sharing then
+// comes only from band boundaries falling inside pages (the paper's
+// pattern), not from unrelated grids colliding in one page.
+func (sh *Shallow) Setup(cl *adsm.Cluster) {
+	n := sh.rows * sh.cols * 8
+	alloc := func() adsm.Addr { return cl.AllocPageAligned(n) }
+	sh.u, sh.v, sh.p = alloc(), alloc(), alloc()
+	sh.unew, sh.vnew, sh.pnew = alloc(), alloc(), alloc()
+	sh.uold, sh.vold, sh.pold = alloc(), alloc(), alloc()
+	sh.cu, sh.cv, sh.z, sh.h = alloc(), alloc(), alloc(), alloc()
+	sh.chk = cl.AllocPageAligned(8)
+}
+
+func (sh *Shallow) at(g adsm.Addr, i, j int) adsm.Addr { return g + 8*(i*sh.cols+j) }
+
+// wrap implements the model's periodic boundaries.
+func (sh *Shallow) wrap(i, n int) int {
+	if i < 0 {
+		return n - 1
+	}
+	if i >= n {
+		return 0
+	}
+	return i
+}
+
+// Body runs the time steps.
+func (sh *Shallow) Body(w *adsm.Worker) {
+	lo, hi := band(sh.rows, w.Procs(), w.ID())
+
+	// Initial conditions: a smooth height wave, zero velocities. (The
+	// field must be smooth: rough initial data makes the unstaggered
+	// finite-difference scheme blow up, as it would in the real code.)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < sh.cols; j++ {
+			h0 := 50.0 + 4.0*math.Sin(2*math.Pi*float64(i)/float64(sh.rows))*
+				math.Cos(2*math.Pi*float64(j)/float64(sh.cols))
+			w.WriteF64(sh.at(sh.p, i, j), h0)
+			w.WriteF64(sh.at(sh.pold, i, j), h0)
+			w.WriteF64(sh.at(sh.u, i, j), 0)
+			w.WriteF64(sh.at(sh.v, i, j), 0)
+			w.WriteF64(sh.at(sh.uold, i, j), 0)
+			w.WriteF64(sh.at(sh.vold, i, j), 0)
+		}
+	}
+	w.Barrier()
+
+	const dt, dx = 0.02, 1.0
+	for it := 0; it < sh.iters; it++ {
+		// Phase 1: mass fluxes and potential vorticity from u, v, p
+		// (reads the neighbouring band's edge rows).
+		for i := lo; i < hi; i++ {
+			ip := sh.wrap(i+1, sh.rows)
+			for j := 0; j < sh.cols; j++ {
+				jp := sh.wrap(j+1, sh.cols)
+				pc := w.ReadF64(sh.at(sh.p, i, j))
+				w.WriteF64(sh.at(sh.cu, i, j), 0.5*(pc+w.ReadF64(sh.at(sh.p, ip, j)))*w.ReadF64(sh.at(sh.u, i, j)))
+				w.WriteF64(sh.at(sh.cv, i, j), 0.5*(pc+w.ReadF64(sh.at(sh.p, i, jp)))*w.ReadF64(sh.at(sh.v, i, j)))
+				w.WriteF64(sh.at(sh.z, i, j),
+					(w.ReadF64(sh.at(sh.v, ip, j))-w.ReadF64(sh.at(sh.v, i, j))-
+						w.ReadF64(sh.at(sh.u, i, jp))+w.ReadF64(sh.at(sh.u, i, j)))/(dx*(pc+1)))
+				w.WriteF64(sh.at(sh.h, i, j),
+					pc+0.25*(w.ReadF64(sh.at(sh.u, i, j))*w.ReadF64(sh.at(sh.u, i, j))+
+						w.ReadF64(sh.at(sh.v, i, j))*w.ReadF64(sh.at(sh.v, i, j))))
+			}
+			w.Compute(sh.elemCost * time.Duration(sh.cols))
+		}
+		w.Barrier()
+
+		// Phase 2: advance u, v, p using the fluxes (reads neighbours).
+		for i := lo; i < hi; i++ {
+			im := sh.wrap(i-1, sh.rows)
+			for j := 0; j < sh.cols; j++ {
+				jm := sh.wrap(j-1, sh.cols)
+				w.WriteF64(sh.at(sh.unew, i, j),
+					w.ReadF64(sh.at(sh.uold, i, j))+
+						dt*(w.ReadF64(sh.at(sh.z, i, j))*0.5*(w.ReadF64(sh.at(sh.cv, i, j))+w.ReadF64(sh.at(sh.cv, im, j)))-
+							(w.ReadF64(sh.at(sh.h, i, j))-w.ReadF64(sh.at(sh.h, im, j)))/dx))
+				w.WriteF64(sh.at(sh.vnew, i, j),
+					w.ReadF64(sh.at(sh.vold, i, j))-
+						dt*(w.ReadF64(sh.at(sh.z, i, j))*0.5*(w.ReadF64(sh.at(sh.cu, i, j))+w.ReadF64(sh.at(sh.cu, i, jm)))+
+							(w.ReadF64(sh.at(sh.h, i, j))-w.ReadF64(sh.at(sh.h, i, jm)))/dx))
+				w.WriteF64(sh.at(sh.pnew, i, j),
+					w.ReadF64(sh.at(sh.pold, i, j))-
+						dt*((w.ReadF64(sh.at(sh.cu, i, j))-w.ReadF64(sh.at(sh.cu, im, j)))/dx+
+							(w.ReadF64(sh.at(sh.cv, i, j))-w.ReadF64(sh.at(sh.cv, i, jm)))/dx))
+			}
+			w.Compute(sh.elemCost * time.Duration(sh.cols))
+		}
+		w.Barrier()
+
+		// Phase 3: time smoothing (writes only our own rows).
+		const alpha = 0.001
+		for i := lo; i < hi; i++ {
+			for j := 0; j < sh.cols; j++ {
+				uc := w.ReadF64(sh.at(sh.u, i, j))
+				vc := w.ReadF64(sh.at(sh.v, i, j))
+				pc := w.ReadF64(sh.at(sh.p, i, j))
+				un := w.ReadF64(sh.at(sh.unew, i, j))
+				vn := w.ReadF64(sh.at(sh.vnew, i, j))
+				pn := w.ReadF64(sh.at(sh.pnew, i, j))
+				w.WriteF64(sh.at(sh.uold, i, j), uc+alpha*(un-2*uc+w.ReadF64(sh.at(sh.uold, i, j))))
+				w.WriteF64(sh.at(sh.vold, i, j), vc+alpha*(vn-2*vc+w.ReadF64(sh.at(sh.vold, i, j))))
+				w.WriteF64(sh.at(sh.pold, i, j), pc+alpha*(pn-2*pc+w.ReadF64(sh.at(sh.pold, i, j))))
+				w.WriteF64(sh.at(sh.u, i, j), un)
+				w.WriteF64(sh.at(sh.v, i, j), vn)
+				w.WriteF64(sh.at(sh.p, i, j), pn)
+			}
+			w.Compute(sh.elemCost * time.Duration(sh.cols) / 2)
+		}
+		w.Barrier()
+	}
+
+	// Position-weighted checksum over all three state grids so stale or
+	// misplaced cells cannot cancel out.
+	var sum float64
+	for i := lo; i < hi; i++ {
+		for j := 0; j < sh.cols; j++ {
+			wgt := 1.0 + float64((i*7+j*13)%101)/100.0
+			sum += wgt * (w.ReadF64(sh.at(sh.p, i, j)) - 50.0 +
+				10*w.ReadF64(sh.at(sh.u, i, j)) + 10*w.ReadF64(sh.at(sh.v, i, j)))
+		}
+	}
+	accumulate(w, sh.chk, sum)
+	w.Barrier()
+	if w.ID() == 0 {
+		sh.result = w.ReadF64(sh.chk)
+	}
+	w.Barrier()
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"adsm"
+)
+
+// replicaShallow computes the model in plain Go, returning the final grids.
+func replicaShallow(rows, cols, iters int) (u, v, p []float64) {
+	alloc := func() []float64 { return make([]float64, rows*cols) }
+	u, v, p = alloc(), alloc(), alloc()
+	unew, vnew, pnew := alloc(), alloc(), alloc()
+	uold, vold, pold := alloc(), alloc(), alloc()
+	cu, cv, z, h := alloc(), alloc(), alloc(), alloc()
+	idx := func(i, j int) int { return i*cols + j }
+	wrap := func(i, n int) int {
+		if i < 0 {
+			return n - 1
+		}
+		if i >= n {
+			return 0
+		}
+		return i
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			h0 := 50.0 + 4.0*math.Sin(2*math.Pi*float64(i)/float64(rows))*
+				math.Cos(2*math.Pi*float64(j)/float64(cols))
+			p[idx(i, j)] = h0
+			pold[idx(i, j)] = h0
+		}
+	}
+	const dt, dx = 0.02, 1.0
+	for it := 0; it < iters; it++ {
+		for i := 0; i < rows; i++ {
+			ip := wrap(i+1, rows)
+			for j := 0; j < cols; j++ {
+				jp := wrap(j+1, cols)
+				pc := p[idx(i, j)]
+				cu[idx(i, j)] = 0.5 * (pc + p[idx(ip, j)]) * u[idx(i, j)]
+				cv[idx(i, j)] = 0.5 * (pc + p[idx(i, jp)]) * v[idx(i, j)]
+				z[idx(i, j)] = (v[idx(ip, j)] - v[idx(i, j)] - u[idx(i, jp)] + u[idx(i, j)]) / (dx * (pc + 1))
+				h[idx(i, j)] = pc + 0.25*(u[idx(i, j)]*u[idx(i, j)]+v[idx(i, j)]*v[idx(i, j)])
+			}
+		}
+		for i := 0; i < rows; i++ {
+			im := wrap(i-1, rows)
+			for j := 0; j < cols; j++ {
+				jm := wrap(j-1, cols)
+				unew[idx(i, j)] = uold[idx(i, j)] + dt*(z[idx(i, j)]*0.5*(cv[idx(i, j)]+cv[idx(im, j)])-(h[idx(i, j)]-h[idx(im, j)])/dx)
+				vnew[idx(i, j)] = vold[idx(i, j)] - dt*(z[idx(i, j)]*0.5*(cu[idx(i, j)]+cu[idx(i, jm)])+(h[idx(i, j)]-h[idx(i, jm)])/dx)
+				pnew[idx(i, j)] = pold[idx(i, j)] - dt*((cu[idx(i, j)]-cu[idx(im, j)])/dx+(cv[idx(i, j)]-cv[idx(i, jm)])/dx)
+			}
+		}
+		const alpha = 0.001
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				uc, vc, pc := u[idx(i, j)], v[idx(i, j)], p[idx(i, j)]
+				un, vn, pn := unew[idx(i, j)], vnew[idx(i, j)], pnew[idx(i, j)]
+				uold[idx(i, j)] = uc + alpha*(un-2*uc+uold[idx(i, j)])
+				vold[idx(i, j)] = vc + alpha*(vn-2*vc+vold[idx(i, j)])
+				pold[idx(i, j)] = pc + alpha*(pn-2*pc+pold[idx(i, j)])
+				u[idx(i, j)] = un
+				v[idx(i, j)] = vn
+				p[idx(i, j)] = pn
+			}
+		}
+	}
+	return u, v, p
+}
+
+// TestShallowForensic compares every grid cell of a 2-processor DSM run
+// against the plain-Go replica — bit-exact equality is required, making
+// this the strongest application-level coherence check in the suite.
+func TestShallowForensic(t *testing.T) {
+	sh := NewShallow(false)
+	iters := sh.iters
+	ru, rv, rp := replicaShallow(sh.rows, sh.cols, iters)
+
+	cl := adsm.NewCluster(adsm.Config{Procs: 2, Protocol: adsm.MW})
+	sh.Setup(cl)
+	var gu, gv, gp []float64
+	_, err := cl.Run(func(w *adsm.Worker) {
+		sh.Body(w)
+		if w.ID() == 0 {
+			gu = make([]float64, sh.rows*sh.cols)
+			gv = make([]float64, sh.rows*sh.cols)
+			gp = make([]float64, sh.rows*sh.cols)
+			for i := 0; i < sh.rows; i++ {
+				for j := 0; j < sh.cols; j++ {
+					gu[i*sh.cols+j] = w.ReadF64(sh.at(sh.u, i, j))
+					gv[i*sh.cols+j] = w.ReadF64(sh.at(sh.v, i, j))
+					gp[i*sh.cols+j] = w.ReadF64(sh.at(sh.p, i, j))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for i := 0; i < sh.rows && bad < 8; i++ {
+		for j := 0; j < sh.cols && bad < 8; j++ {
+			k := i*sh.cols + j
+			if gu[k] != ru[k] || gv[k] != rv[k] || gp[k] != rp[k] {
+				t.Errorf("cell (%d,%d): dsm u=%v v=%v p=%v; replica u=%v v=%v p=%v",
+					i, j, gu[k], gv[k], gp[k], ru[k], rv[k], rp[k])
+				bad++
+			}
+		}
+	}
+	if bad == 0 {
+		t.Logf("grids identical at iters=%d", iters)
+	}
+}

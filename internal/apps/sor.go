@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"adsm"
+)
+
+// SOR is Red-Black successive over-relaxation on a 2D grid. The grid is
+// divided into bands of rows; communication is nearest-neighbour across
+// band boundaries. With a 512-column float64 grid each row is exactly one
+// page, so there is no write-write false sharing (Table 2: "large" write
+// granularity, 0% falsely shared), and the number of modified elements
+// grows over the iterations (the boundary values diffuse inward), which is
+// what drives WFS+WG's mid-run MW->SW switch in the paper.
+type SOR struct {
+	rows, cols, iters int
+	elemCost          time.Duration
+
+	grid   adsm.Addr
+	chk    adsm.Addr
+	result float64
+}
+
+// NewSOR builds the SOR instance (quick: 64x512x6; full: 192x512x24).
+func NewSOR(quick bool) *SOR {
+	s := &SOR{rows: 192, cols: 512, iters: 24, elemCost: 800 * time.Nanosecond}
+	if quick {
+		s.rows, s.iters = 64, 6
+	}
+	return s
+}
+
+func (s *SOR) Name() string { return "SOR" }
+func (s *SOR) Sync() string { return "b" }
+func (s *SOR) DataSet() string {
+	return fmt.Sprintf("%dx%d grid, %d iters", s.rows, s.cols, s.iters)
+}
+func (s *SOR) Result() float64 { return s.result }
+
+// Setup allocates the grid page-aligned so each row is one page.
+func (s *SOR) Setup(cl *adsm.Cluster) {
+	s.grid = cl.AllocPageAligned(s.rows * s.cols * 8)
+	s.chk = cl.AllocPageAligned(8)
+}
+
+func (s *SOR) at(i, j int) adsm.Addr { return s.grid + 8*(i*s.cols+j) }
+
+// Body runs the red-black sweeps.
+func (s *SOR) Body(w *adsm.Worker) {
+	lo, hi := band(s.rows, w.Procs(), w.ID())
+
+	// Boundary initialization: edges at 1.0, interior 0 (allocation is
+	// zeroed). Each band initializes its own edge cells.
+	for i := lo; i < hi; i++ {
+		w.WriteF64(s.at(i, 0), 1.0)
+		w.WriteF64(s.at(i, s.cols-1), 1.0)
+		if i == 0 || i == s.rows-1 {
+			for j := 0; j < s.cols; j++ {
+				w.WriteF64(s.at(i, j), 1.0)
+			}
+		}
+	}
+	w.Barrier()
+
+	ulo, uhi := lo, hi
+	if ulo == 0 {
+		ulo = 1
+	}
+	if uhi == s.rows {
+		uhi = s.rows - 1
+	}
+	for it := 0; it < s.iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			for i := ulo; i < uhi; i++ {
+				for j := 1 + (i+phase)%2; j < s.cols-1; j += 2 {
+					v := 0.25 * (w.ReadF64(s.at(i-1, j)) + w.ReadF64(s.at(i+1, j)) +
+						w.ReadF64(s.at(i, j-1)) + w.ReadF64(s.at(i, j+1)))
+					w.WriteF64(s.at(i, j), v)
+				}
+				w.Compute(s.elemCost * time.Duration(s.cols/2))
+			}
+			w.Barrier()
+		}
+	}
+
+	// Each band sums its own rows (already local) and accumulates.
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		for j := 0; j < s.cols; j++ {
+			sum += w.ReadF64(s.at(i, j))
+		}
+	}
+	accumulate(w, s.chk, sum)
+	w.Barrier()
+	if w.ID() == 0 {
+		s.result = w.ReadF64(s.chk)
+	}
+	w.Barrier()
+}

@@ -1,0 +1,197 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adsm"
+)
+
+// TSP solves the travelling salesman problem with branch and bound. A
+// shared queue of partial tours (expanded to a fixed depth) is consumed
+// under a lock; the best tour length is a shared word updated under a
+// second lock. All shared writes are a few words (Table 2: "small"
+// granularity), so whole-page ownership transfers (SW, WFS) move far more
+// data than the small diffs MW and WFS+WG send.
+type TSP struct {
+	cities int
+	depth  int
+	dist   [][]int64
+
+	nodeCost time.Duration
+
+	best   adsm.Addr // best tour length (1 word, lock 1)
+	qhead  adsm.Addr // next queue entry (1 word, lock 0)
+	qcount adsm.Addr
+	qbase  adsm.Addr // entries: depth city indices each
+	qcap   int
+
+	result float64
+}
+
+// NewTSP builds the TSP instance (quick: 9 cities; full: 11 cities — the
+// paper used 19 on real hardware; the search pattern is identical).
+func NewTSP(quick bool) *TSP {
+	t := &TSP{cities: 11, depth: 3, nodeCost: 1500 * time.Nanosecond}
+	if quick {
+		t.cities = 9
+	}
+	rng := rand.New(rand.NewSource(424243))
+	t.dist = make([][]int64, t.cities)
+	for i := range t.dist {
+		t.dist[i] = make([]int64, t.cities)
+	}
+	for i := 0; i < t.cities; i++ {
+		for j := i + 1; j < t.cities; j++ {
+			d := int64(10 + rng.Intn(90))
+			t.dist[i][j], t.dist[j][i] = d, d
+		}
+	}
+	return t
+}
+
+func (t *TSP) Name() string { return "TSP" }
+func (t *TSP) Sync() string { return "l" }
+func (t *TSP) DataSet() string {
+	return fmt.Sprintf("%d cities, queue depth %d", t.cities, t.depth)
+}
+func (t *TSP) Result() float64 { return t.result }
+
+// Setup allocates the bound, queue indices and the tour queue.
+func (t *TSP) Setup(cl *adsm.Cluster) {
+	t.qcap = 1
+	for i := 0; i < t.depth-1; i++ {
+		t.qcap *= t.cities - 1 - i
+	}
+	t.best = cl.Alloc(8)
+	t.qhead = cl.Alloc(8)
+	t.qcount = cl.Alloc(8)
+	t.qbase = cl.Alloc(t.qcap * t.depth * 8)
+}
+
+// Body generates the prefix queue on processor 0 and then consumes it.
+func (t *TSP) Body(w *adsm.Worker) {
+	if w.ID() == 0 {
+		w.WriteI64(t.best, 1<<40)
+		count := 0
+		prefix := []int{0}
+		var gen func([]int)
+		gen = func(p []int) {
+			if len(p) == t.depth {
+				for i, c := range p {
+					w.WriteI64(t.qbase+8*(count*t.depth+i), int64(c))
+				}
+				count++
+				return
+			}
+			for c := 1; c < t.cities; c++ {
+				used := false
+				for _, u := range p {
+					if u == c {
+						used = true
+						break
+					}
+				}
+				if !used {
+					gen(append(p, c))
+				}
+			}
+		}
+		gen(prefix)
+		w.WriteI64(t.qcount, int64(count))
+		w.WriteI64(t.qhead, 0)
+	}
+	w.Barrier()
+
+	// Pop batches of partial tours (small migratory writes to the head
+	// word, like TreadMarks' TSP work queue).
+	const batch = 4
+	prefix := make([]int, t.depth)
+	for {
+		w.Lock(0)
+		head := w.ReadI64(t.qhead)
+		n := w.ReadI64(t.qcount)
+		take := int64(0)
+		if head < n {
+			take = n - head
+			if take > batch {
+				take = batch
+			}
+			w.WriteI64(t.qhead, head+take)
+		}
+		w.Unlock(0)
+		if take == 0 {
+			break
+		}
+		for e := int64(0); e < take; e++ {
+			for i := 0; i < t.depth; i++ {
+				prefix[i] = int(w.ReadI64(t.qbase + 8*((int(head)+int(e))*t.depth+i)))
+			}
+
+			// Depth-first search below the prefix, pruning against the
+			// (possibly stale) shared bound: stale bounds only prune
+			// less, so the optimum is still found.
+			bound := w.ReadI64(t.best)
+			tourLen, explored := t.dfs(prefix, bound)
+			w.Compute(t.nodeCost * time.Duration(explored))
+
+			if tourLen > 0 {
+				w.Lock(1)
+				if cur := w.ReadI64(t.best); tourLen < cur {
+					w.WriteI64(t.best, tourLen)
+				}
+				w.Unlock(1)
+			}
+		}
+	}
+
+	w.Barrier()
+	if w.ID() == 0 {
+		t.result = float64(w.ReadI64(t.best))
+	}
+	w.Barrier()
+}
+
+// dfs explores all completions of the prefix, returning the best complete
+// tour found (0 if none beat the bound) and the number of nodes explored.
+func (t *TSP) dfs(prefix []int, bound int64) (best int64, explored int) {
+	used := make([]bool, t.cities)
+	path := make([]int, 0, t.cities)
+	var length int64
+	for i, c := range prefix {
+		used[c] = true
+		path = append(path, c)
+		if i > 0 {
+			length += t.dist[prefix[i-1]][c]
+		}
+	}
+	best = 0
+	var rec func(last int, length int64)
+	rec = func(last int, length int64) {
+		explored++
+		if length >= bound {
+			return
+		}
+		if len(path) == t.cities {
+			total := length + t.dist[last][0]
+			if total < bound {
+				bound = total
+				best = total
+			}
+			return
+		}
+		for c := 1; c < t.cities; c++ {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			path = append(path, c)
+			rec(c, length+t.dist[last][c])
+			path = path[:len(path)-1]
+			used[c] = false
+		}
+	}
+	rec(prefix[len(prefix)-1], length)
+	return best, explored
+}

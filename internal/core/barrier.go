@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"adsm/internal/sim"
+)
+
+// Barriers: centralized at node 0 (the manager). Arrivals carry each
+// node's new intervals; releases carry the intervals each waiter lacks.
+// Garbage collection is coordinated by piggybacking a memory-pressure flag
+// on arrivals and the GC decision (plus post-GC page routing hints) on
+// releases, exactly one barrier round late as in TreadMarks.
+
+// barrierMgr is the manager-side state (one barrier at a time).
+type barrierMgr struct {
+	epoch    int64
+	arrived  int
+	calls    []*sim.Call
+	knows    [][]int32
+	pressure bool
+	gcRound  bool // current round is the GC mini-barrier (no nested GC)
+}
+
+// Barrier synchronizes all nodes, propagating all write notices.
+func (n *Node) Barrier() {
+	n.closeInterval()
+	n.Stats.Barriers++
+	if n.c.params.Procs == 1 {
+		return
+	}
+	n.barrierRound(false)
+}
+
+// barrierRound performs one arrive/release exchange. The GC mini-barrier
+// reuses the same machinery with gcRound set.
+func (n *Node) barrierRound(gcRound bool) {
+	mine := n.intervalsSince(n.lastGlobal)
+	resp := n.c.net.Call(n.proc, 0, barArrive{
+		Epoch:       n.c.bar.epoch,
+		KnownTS:     append([]int32(nil), n.knownTS...),
+		Intervals:   mine,
+		MemPressure: !gcRound && n.memPressure(),
+		nprocs:      n.c.params.Procs,
+	}).(barRelease)
+	n.ingestIntervals(resp.Intervals)
+	n.vclock.Join(resp.Global)
+	copy(n.lastGlobal, resp.Global)
+	n.barrierModeScan()
+	if resp.GC {
+		n.runGC(resp.Hints)
+	}
+}
+
+// barrierModeScan implements mechanism 3 of Section 3.1.2: at a barrier
+// every node is up to date with all modifications, so a write notice that
+// dominates all other write notices for a page means write-write false
+// sharing has stopped and the page can return to SW mode.
+func (n *Node) barrierModeScan() {
+	if !n.c.params.Protocol.Adaptive() {
+		return
+	}
+	for pg := 0; pg < n.c.usedPages(); pg++ {
+		ps := n.pages[pg]
+		if ps.mode != modeMW || ps.owner || ps.wasLast || len(ps.pending) == 0 {
+			continue
+		}
+		dom := dominatingWN(ps.pending)
+		if dom == nil {
+			continue
+		}
+		if mine := ps.myLastWN; mine != nil && mine.Int.Proc == n.id &&
+			!mine.Int.VC.Leq(dom.Int.VC) {
+			// Our own write is not dominated: sharing has not stopped.
+			continue
+		}
+		if n.wgAllowsSW(ps) {
+			n.setMode(ps, modeSW)
+			ps.seesFS = false
+		}
+	}
+}
+
+// dominatingWN returns the write notice whose interval dominates all
+// others, or nil if none does.
+func dominatingWN(wns []*WriteNotice) *WriteNotice {
+	var best *WriteNotice
+	for _, wn := range wns {
+		if best == nil || best.Int.VC.Leq(wn.Int.VC) {
+			best = wn
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	for _, wn := range wns {
+		if wn != best && !wn.Int.VC.Leq(best.Int.VC) {
+			return nil
+		}
+	}
+	return best
+}
+
+// serveBarrier runs at the manager (handler context).
+func (n *Node) serveBarrier(c *sim.Call, from int, m barArrive) {
+	b := &n.c.bar
+	if m.Epoch != b.epoch {
+		panic(fmt.Sprintf("dsm: barrier epoch mismatch: arrival %d at epoch %d", m.Epoch, b.epoch))
+	}
+	// The manager accumulates everyone's intervals (it is also a worker;
+	// handler-time ingest is the SIGIO model).
+	n.ingestIntervals(m.Intervals)
+	b.arrived++
+	b.calls = append(b.calls, c)
+	b.knows = append(b.knows, m.KnownTS)
+	if m.MemPressure {
+		b.pressure = true
+	}
+	if b.arrived < n.c.params.Procs {
+		return
+	}
+
+	// Everyone is here: the manager now knows every interval.
+	doGC := b.pressure && !b.gcRound
+	var hints []gcHint
+	if doGC {
+		hints = n.c.computeGCHints()
+		n.c.gcRuns++
+	}
+	global := append([]int32(nil), n.knownTS...)
+	calls, knows := b.calls, b.knows
+	b.arrived, b.calls, b.knows, b.pressure = 0, nil, nil, false
+	b.epoch++
+	b.gcRound = doGC
+	if !doGC {
+		b.gcRound = false
+	}
+	for i, cc := range calls {
+		cc.Reply(barRelease{
+			Intervals: n.intervalsSince(knows[i]),
+			Global:    global,
+			GC:        doGC,
+			Hints:     hints,
+			nprocs:    n.c.params.Procs,
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"adsm/internal/mem"
+	"adsm/internal/sim"
+	"adsm/internal/stats"
+)
+
+// Cluster is a simulated DSM system: Procs nodes, a network, and the
+// shared segment. Create one with New, allocate shared memory with Alloc,
+// then Run the SPMD program.
+type Cluster struct {
+	params Params
+	eng    *sim.Engine
+	net    *sim.Net
+	nodes  []*Node
+
+	npages    int
+	allocated int
+
+	locks map[int]*mgrLock
+	bar   barrierMgr
+
+	detector *Detector
+
+	// Figure 3 instrumentation: total live diffs across all nodes.
+	totalLiveDiffs int64
+	DiffSeries     *stats.Series
+
+	gcRuns int64
+}
+
+// New creates a cluster with the given parameters.
+func New(p Params) *Cluster {
+	if p.Procs < 1 {
+		panic("dsm: need at least one processor")
+	}
+	if p.Procs > 64 {
+		panic("dsm: detector bitmasks support at most 64 processors")
+	}
+	npages := (p.MaxSharedBytes + mem.PageSize - 1) / mem.PageSize
+	c := &Cluster{
+		params:   p,
+		eng:      sim.NewEngine(),
+		net:      nil,
+		npages:   npages,
+		locks:    make(map[int]*mgrLock),
+		detector: newDetector(p.Procs, npages),
+	}
+	c.eng.MaxEvents = p.EventLimit
+	c.net = sim.NewNet(c.eng, p.Procs, p.Net)
+	for i := 0; i < p.Procs; i++ {
+		c.nodes = append(c.nodes, newNode(c, i))
+	}
+	for i := 0; i < p.Procs; i++ {
+		i := i
+		c.net.Register(i, func(call *sim.Call, from int, m sim.Msg) {
+			c.nodes[i].handle(call, from, m)
+		})
+	}
+	return c
+}
+
+// Params returns the cluster's configuration.
+func (c *Cluster) Params() Params { return c.params }
+
+// Engine exposes the simulation engine (for time queries in tests).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Net exposes the network (for traffic accounting).
+func (c *Cluster) Net() *sim.Net { return c.net }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Detector returns the sharing-characteristics instrumentation.
+func (c *Cluster) Detector() *Detector { return c.detector }
+
+// GCRuns reports how many garbage collections ran.
+func (c *Cluster) GCRuns() int64 { return c.gcRuns }
+
+// homeOf returns the static home of a page (pure SW protocol).
+func (c *Cluster) homeOf(pg int) int { return pg % c.params.Procs }
+
+// usedPages returns the number of pages covered by allocations.
+func (c *Cluster) usedPages() int {
+	return (c.allocated + mem.PageSize - 1) / mem.PageSize
+}
+
+// Allocated returns the shared segment size in bytes.
+func (c *Cluster) Allocated() int { return c.allocated }
+
+// Alloc reserves n bytes of shared memory (8-byte aligned) before Run.
+// Pages are zero-initialized and initially owned by node 0, like
+// Tmk_malloc on the allocating processor.
+func (c *Cluster) Alloc(n int) int {
+	if n <= 0 {
+		panic("dsm: allocation size must be positive")
+	}
+	addr := (c.allocated + 7) &^ 7
+	if addr+n > c.npages*mem.PageSize {
+		panic(fmt.Sprintf("dsm: shared segment exhausted (%d + %d > %d)", addr, n, c.npages*mem.PageSize))
+	}
+	c.allocated = addr + n
+	return addr
+}
+
+// AllocPageAligned reserves n bytes starting on a page boundary.
+func (c *Cluster) AllocPageAligned(n int) int {
+	addr := (c.allocated + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if addr+n > c.npages*mem.PageSize {
+		panic("dsm: shared segment exhausted")
+	}
+	c.allocated = addr + n
+	return addr
+}
+
+// Run executes body on every node (SPMD) and returns the virtual time at
+// completion.
+func (c *Cluster) Run(body func(n *Node)) (sim.Time, error) {
+	for i := 0; i < c.params.Procs; i++ {
+		n := c.nodes[i]
+		c.eng.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
+			n.proc = p
+			body(n)
+		})
+	}
+	if err := c.eng.Run(); err != nil {
+		return c.eng.Now(), err
+	}
+	return c.eng.Now(), nil
+}
+
+// handle dispatches an incoming protocol message (handler context; must
+// not block).
+func (n *Node) handle(call *sim.Call, from int, m sim.Msg) {
+	switch msg := m.(type) {
+	case pageReq:
+		n.servePage(call, from, msg)
+	case diffReq:
+		n.serveDiffs(call, from, msg)
+	case ownReq:
+		n.serveOwnership(call, from, msg)
+	case swOwnReq:
+		n.serveSWOwn(call, from, msg)
+	case acqReq:
+		n.serveAcqReq(call, from, msg)
+	case acqFwd:
+		n.serveAcqFwd(call, from, msg)
+	case barArrive:
+		n.serveBarrier(call, from, msg)
+	default:
+		panic(fmt.Sprintf("dsm: node %d received unknown message %T", n.id, m))
+	}
+}
+
+// noteDiffCount maintains the cluster-wide live diff count (Figure 3).
+func (c *Cluster) noteDiffCount(delta int64) {
+	c.totalLiveDiffs += delta
+	if c.DiffSeries != nil {
+		c.DiffSeries.Append(int64(c.eng.Now()), c.totalLiveDiffs)
+	}
+}
+
+// Totals aggregates all nodes' statistics.
+func (c *Cluster) Totals() stats.Node {
+	ns := make([]*stats.Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		ns = append(ns, &n.Stats)
+	}
+	return stats.Sum(ns)
+}

@@ -1,0 +1,133 @@
+// Package core implements the lazy release consistent (LRC) software DSM
+// protocols from Amza et al., "Software DSM Protocols that Adapt between
+// Single Writer and Multiple Writer" (HPCA 1997):
+//
+//   - MW: the TreadMarks multiple-writer protocol (twinning and diffing,
+//     lazy diff creation, barrier-time garbage collection),
+//   - SW: a CVM-like single-writer protocol (page ownership with version
+//     numbers, static homes with request forwarding, an ownership quantum),
+//   - WFS: the adaptive protocol that chooses SW or MW per page based on
+//     write-write false sharing, detected by the ownership refusal protocol,
+//   - WFSWG: WFS plus adaptation to write granularity (the 3 KB diff
+//     threshold).
+//
+// The package runs on the deterministic cluster simulator in internal/sim;
+// access detection uses explicit checks in the accessors rather than page
+// protection traps (see DESIGN.md for the substitution argument).
+package core
+
+import (
+	"adsm/internal/mem"
+	"adsm/internal/sim"
+)
+
+// Protocol selects which DSM protocol a cluster runs.
+type Protocol int
+
+const (
+	// MW is the TreadMarks multiple-writer protocol.
+	MW Protocol = iota
+	// SW is the CVM-like single-writer protocol.
+	SW
+	// WFS adapts between SW and MW based on write-write false sharing.
+	WFS
+	// WFSWG adapts based on false sharing and write granularity.
+	WFSWG
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case MW:
+		return "MW"
+	case SW:
+		return "SW"
+	case WFS:
+		return "WFS"
+	case WFSWG:
+		return "WFS+WG"
+	}
+	return "?"
+}
+
+// Adaptive reports whether the protocol switches modes per page.
+func (p Protocol) Adaptive() bool { return p == WFS || p == WFSWG }
+
+// Params configures a cluster. The defaults reproduce the paper's
+// experimental environment (Section 4).
+type Params struct {
+	Procs    int
+	Protocol Protocol
+	Net      sim.NetParams
+
+	// CostTwin is the time to copy a page into a twin (104 us).
+	CostTwin sim.Time
+	// CostDiffPage is the time to create a diff by scanning a full page
+	// (179 us); diffs of partial pages are pro-rated.
+	CostDiffPage sim.Time
+	// CostDiffApply is the base time to apply one diff.
+	CostDiffApply sim.Time
+	// OwnershipQuantum guarantees a new SW owner the page for this long
+	// before it can be taken away (1 ms; pure SW protocol only).
+	OwnershipQuantum sim.Time
+	// DiffSpaceLimit is the per-node twin+diff pool size that triggers
+	// garbage collection at the next barrier (1 MB).
+	DiffSpaceLimit int64
+	// WGThreshold is the diff size above which WFS+WG switches a page to
+	// SW mode (3 KB).
+	WGThreshold int
+	// MaxSharedBytes bounds the shared segment.
+	MaxSharedBytes int
+	// EventLimit aborts runaway simulations (0 = default limit).
+	EventLimit uint64
+}
+
+// DefaultParams returns the paper's configuration for the given number of
+// processors.
+func DefaultParams(procs int) Params {
+	return Params{
+		Procs:            procs,
+		Protocol:         MW,
+		Net:              sim.DefaultNetParams(),
+		CostTwin:         104 * sim.Microsecond,
+		CostDiffPage:     179 * sim.Microsecond,
+		CostDiffApply:    15 * sim.Microsecond,
+		OwnershipQuantum: 1 * sim.Millisecond,
+		DiffSpaceLimit:   1 << 20,
+		WGThreshold:      3 * 1024,
+		MaxSharedBytes:   64 << 20,
+		EventLimit:       2_000_000_000,
+	}
+}
+
+// diffCost models the time to create a diff: the page must be scanned in
+// full (CostDiffPage) plus a small amount proportional to the data copied.
+func (p *Params) diffCost(d *mem.Diff) sim.Time {
+	return p.CostDiffPage + sim.Time(d.DataBytes())*20 // ~20ns/byte encode
+}
+
+// applyCost models the time to apply a diff at the receiver.
+func (p *Params) applyCost(d *mem.Diff) sim.Time {
+	return p.CostDiffApply + sim.Time(d.DataBytes())*10
+}
+
+type pageStatus uint8
+
+const (
+	pageInvalid pageStatus = iota
+	pageReadOnly
+	pageReadWrite
+)
+
+type pageMode uint8
+
+const (
+	modeSW pageMode = iota
+	modeMW
+)
+
+func (m pageMode) String() string {
+	if m == modeSW {
+		return "SW"
+	}
+	return "MW"
+}

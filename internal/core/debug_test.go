@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"adsm/internal/sim"
+)
+
+// TestAccumulationSweep runs the lock-protected accumulation workload for
+// every round count 1..8 under every protocol; it pinned down several
+// merge-ordering bugs during development and stays as a regression guard.
+func TestAccumulationSweep(t *testing.T) {
+	const procs, regions = 4, 6
+	for _, proto := range allProtocols {
+		for rounds := 1; rounds <= 8; rounds++ {
+			c := New(testParams(procs, proto))
+			base := c.AllocPageAligned(regions * 256)
+			_, err := c.Run(func(n *Node) {
+				for r := 0; r < rounds; r++ {
+					reg := (r + n.ID()) % regions
+					n.Acquire(reg)
+					addr := base + reg*256
+					v := n.ReadU64(addr)
+					n.WriteU64(addr, v+uint64(n.ID()+1))
+					n.Release(reg)
+					n.Compute(sim.Time(30+7*n.ID()) * sim.Microsecond)
+				}
+				n.Barrier()
+				var total uint64
+				for reg := 0; reg < regions; reg++ {
+					total += n.ReadU64(base + reg*256)
+				}
+				want := uint64(rounds * (1 + 2 + 3 + 4))
+				if total != want {
+					t.Errorf("%v rounds=%d: node %d total = %d, want %d", proto, rounds, n.ID(), total, want)
+				}
+				n.Barrier()
+			})
+			if err != nil {
+				t.Fatalf("%v rounds=%d: %v", proto, rounds, err)
+			}
+		}
+	}
+}

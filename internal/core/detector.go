@@ -1,0 +1,130 @@
+package core
+
+import (
+	"adsm/internal/mem"
+	"adsm/internal/vc"
+)
+
+// Detector is protocol-independent instrumentation that measures the two
+// application characteristics the paper's Table 2 reports: the fraction of
+// shared pages exhibiting write-write false sharing, and the prevailing
+// write granularity (diff sizes).
+//
+// A page is write-write falsely shared when two different processors write
+// it in intervals that are concurrent under happened-before-1. Checking
+// each new write against every processor's most recent write suffices:
+// older writes by the same processor are ordered before its latest one.
+type Detector struct {
+	nprocs int
+	pages  []detPage
+}
+
+type detPage struct {
+	lastWrite []vc.VC // per proc, VC of its most recent write interval
+	accessors uint64  // bitmask of procs that touched the page
+	writers   uint64  // bitmask of procs that wrote the page
+	fs        bool
+
+	diffCount int64
+	diffBytes int64
+	maxDiff   int
+}
+
+func newDetector(nprocs, npages int) *Detector {
+	d := &Detector{nprocs: nprocs, pages: make([]detPage, npages)}
+	return d
+}
+
+// noteWrite records a write notice creation.
+func (d *Detector) noteWrite(wn *WriteNotice) {
+	p := &d.pages[wn.Page]
+	if p.lastWrite == nil {
+		p.lastWrite = make([]vc.VC, d.nprocs)
+	}
+	proc := wn.Int.Proc
+	p.writers |= 1 << uint(proc)
+	p.accessors |= 1 << uint(proc)
+	if !p.fs {
+		for q, last := range p.lastWrite {
+			if q == proc || last == nil {
+				continue
+			}
+			if last.Concurrent(wn.Int.VC) {
+				p.fs = true
+				break
+			}
+		}
+	}
+	p.lastWrite[proc] = wn.Int.VC
+}
+
+// noteAccess records that a processor touched a page.
+func (d *Detector) noteAccess(pg, proc int, write bool) {
+	p := &d.pages[pg]
+	p.accessors |= 1 << uint(proc)
+	if write {
+		p.writers |= 1 << uint(proc)
+	}
+}
+
+// noteDiff records a created diff's size (write granularity).
+func (d *Detector) noteDiff(pg int, diff *mem.Diff) {
+	p := &d.pages[pg]
+	p.diffCount++
+	p.diffBytes += int64(diff.DataBytes())
+	if diff.DataBytes() > p.maxDiff {
+		p.maxDiff = diff.DataBytes()
+	}
+}
+
+// Characteristics summarizes Table 2's columns for one run.
+type Characteristics struct {
+	SharedPages   int     // pages accessed by >= 2 processors
+	WrittenPages  int     // pages written at all
+	FSPages       int     // write-write falsely shared pages
+	FSPercent     float64 // FSPages as a share of WrittenPages (the paper's metric)
+	AvgDiffBytes  float64 // mean diff size (write granularity)
+	MaxDiffBytes  int
+	DiffsRecorded int64
+}
+
+// Characteristics computes the Table 2 summary over the first n pages.
+func (d *Detector) Characteristics(npages int) Characteristics {
+	var c Characteristics
+	var diffBytes, diffCount int64
+	for i := 0; i < npages && i < len(d.pages); i++ {
+		p := &d.pages[i]
+		shared := popcount(p.accessors) >= 2
+		if shared {
+			c.SharedPages++
+		}
+		if p.writers != 0 {
+			c.WrittenPages++
+		}
+		if p.fs {
+			c.FSPages++
+		}
+		diffBytes += p.diffBytes
+		diffCount += p.diffCount
+		if p.maxDiff > c.MaxDiffBytes {
+			c.MaxDiffBytes = p.maxDiff
+		}
+	}
+	if c.WrittenPages > 0 {
+		c.FSPercent = 100 * float64(c.FSPages) / float64(c.WrittenPages)
+	}
+	if diffCount > 0 {
+		c.AvgDiffBytes = float64(diffBytes) / float64(diffCount)
+	}
+	c.DiffsRecorded = diffCount
+	return c
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"adsm/internal/mem"
+	"adsm/internal/vc"
+)
+
+// Protocol messages. Size() reports payload bytes for the network cost
+// model; contents are passed by reference (the simulator runs in one
+// address space) but every transfer is charged its wire size.
+
+// --- paging ---
+
+// pageReq asks for a whole-page copy (read miss, or SW/adaptive fetch from
+// the perceived owner).
+type pageReq struct {
+	Page int
+	Hops int
+}
+
+func (pageReq) Size() int { return 16 }
+
+// pageResp carries the page contents and the vector clock summarizing the
+// writes reflected in it.
+type pageResp struct {
+	Data    []byte
+	Applied vc.VC
+}
+
+func (m pageResp) Size() int { return len(m.Data) + 4*len(m.Applied) + 8 }
+
+// --- diffing ---
+
+// diffReq asks one writer for the diffs of the listed write notices. It
+// piggybacks the requester's false-sharing perception for the page
+// (adaptive protocols, mechanism 1 of Section 3.1.2).
+type diffReq struct {
+	Page   int
+	Wants  []wnKey
+	SeesFS bool
+}
+
+func (m diffReq) Size() int { return 12 + 8*len(m.Wants) }
+
+// diffResp returns the requested diffs.
+type diffResp struct {
+	Diffs []*mem.Diff
+	Keys  []wnKey
+}
+
+func (m diffResp) Size() int {
+	n := 8
+	for _, d := range m.Diffs {
+		n += d.EncodedSize()
+	}
+	return n
+}
+
+// --- ownership (adaptive protocols) ---
+
+// ownReq is an ownership request sent directly to the last perceived owner
+// (never forwarded; always two messages). Version is the requester's
+// perceived version number: a mismatch means write-write false sharing.
+type ownReq struct {
+	Page    int
+	Version int32
+	// NeedPage piggybacks the page fetch on the ownership request (write
+	// fault on an invalid page).
+	NeedPage bool
+	// Resume marks a request issued from MW mode after the protocol
+	// inferred that false sharing has stopped (Section 3.1.2).
+	Resume bool
+	// Applied lets the grantor skip the page transfer when the
+	// requester's copy is current.
+	Applied vc.VC
+}
+
+func (m ownReq) Size() int { return 20 + 4*len(m.Applied) }
+
+// ownResp grants or refuses ownership. On grant, Version is the new
+// version (requester's perceived version + 1) and the page contents ride
+// along unless the requester's copy was provably current. On refusal the
+// page is included only when the requester asked for it.
+type ownResp struct {
+	Granted bool
+	Version int32
+	Data    []byte
+	Applied vc.VC
+}
+
+func (m ownResp) Size() int {
+	n := 16
+	if m.Data != nil {
+		n += len(m.Data) + 4*len(m.Applied)
+	}
+	return n
+}
+
+// --- ownership (pure SW protocol, home-based) ---
+
+// swOwnReq travels requester -> home -> owner (forwarded); the grant comes
+// directly back to the requester with the page.
+type swOwnReq struct {
+	Page int
+	Hops int
+}
+
+func (swOwnReq) Size() int { return 16 }
+
+// swOwnGrant transfers ownership and the page.
+type swOwnGrant struct {
+	Version int32
+	Data    []byte
+	Applied vc.VC
+}
+
+func (m swOwnGrant) Size() int { return 12 + len(m.Data) + 4*len(m.Applied) }
+
+// --- locks ---
+
+// acqReq asks the lock's static manager for the lock. KnownTS is the
+// requester's interval knowledge so the grantor can piggyback exactly the
+// intervals the requester lacks.
+type acqReq struct {
+	Lock    int
+	KnownTS []int32
+}
+
+func (m acqReq) Size() int { return 8 + 4*len(m.KnownTS) }
+
+// acqFwd is the manager forwarding the request to the last holder.
+type acqFwd struct {
+	Lock    int
+	Origin  int
+	KnownTS []int32
+}
+
+func (m acqFwd) Size() int { return 12 + 4*len(m.KnownTS) }
+
+// acqGrant passes the lock to the requester with the piggybacked
+// intervals and the releaser's vector clock.
+type acqGrant struct {
+	Intervals []*Interval
+	VC        vc.VC
+	nprocs    int
+}
+
+func (m acqGrant) Size() int { return 8 + 4*len(m.VC) + intervalsWireSize(m.Intervals, m.nprocs) }
+
+// --- barriers ---
+
+// barArrive carries the arriver's knowledge vector and its own new
+// intervals to the barrier manager; MemPressure requests a garbage
+// collection (piggybacked, as in TreadMarks).
+type barArrive struct {
+	Epoch       int64
+	KnownTS     []int32
+	Intervals   []*Interval
+	MemPressure bool
+	nprocs      int
+}
+
+func (m barArrive) Size() int {
+	return 16 + 4*len(m.KnownTS) + intervalsWireSize(m.Intervals, m.nprocs)
+}
+
+// barRelease releases a waiter with the intervals it lacks and the global
+// knowledge vector. GC instructs all nodes to run garbage collection;
+// Hints carries post-GC page routing (validator/owner per page), charged
+// at 8 bytes per entry.
+type barRelease struct {
+	Intervals []*Interval
+	Global    []int32
+	GC        bool
+	Hints     []gcHint
+	nprocs    int
+}
+
+type gcHint struct {
+	Page    int
+	Owner   int
+	Version int32
+}
+
+func (m barRelease) Size() int {
+	return 8 + 4*len(m.Global) + intervalsWireSize(m.Intervals, m.nprocs) + 8*len(m.Hints)
+}

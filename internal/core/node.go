@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+
+	"adsm/internal/mem"
+	"adsm/internal/sim"
+	"adsm/internal/stats"
+	"adsm/internal/vc"
+)
+
+// pageState is one node's view of one shared page.
+type pageState struct {
+	status pageStatus
+	mode   pageMode // the per-page "state variable" of the adaptive protocols
+
+	data    []byte // local copy; nil until first fetch (node 0 starts with all pages)
+	applied vc.VC  // writes reflected in data
+
+	// Multiple-writer machinery.
+	twin     []byte
+	dirtyMW  bool         // written under a twin in the current interval
+	undiffed *WriteNotice // my last WN whose diff hasn't been created yet
+
+	// Invalidation.
+	pending []*WriteNotice // received write notices not yet applied
+	// knownWNs indexes every write notice this node has seen for the page
+	// (its own and ingested ones); installPage uses it to replay writes an
+	// incoming copy misses. Pruned at garbage collection.
+	knownWNs []*WriteNotice
+
+	// Single-writer machinery.
+	owner            bool
+	wasLast          bool // dropped ownership after a refusal/GC; still the grant authority
+	version          int32
+	ownedSince       sim.Time
+	wroteSW          bool // wrote as owner in the current interval
+	dropOwnership    bool // refusal received: drop ownership at next release
+	perceivedOwner   int
+	perceivedVersion int32
+	ownerWN          *WriteNotice
+	myLastWN         *WriteNotice
+
+	// Adaptation state.
+	seesFS       bool         // local perception of write-write false sharing
+	copysetFS    map[int]bool // writer-side: requester -> last reported FS perception
+	lastDiffSize int          // largest diff observed recently for this page
+	wgProbed     bool         // WFS+WG: page has been through its MW measuring phase
+
+	// Deferred ownership requests (pure SW): queued while we hold the page
+	// within its quantum, or while our own ownership request is in flight.
+	deferred  []*sim.Call
+	swWaiting bool
+}
+
+// Node is one DSM processor: protocol state plus the simulated process
+// executing the application.
+type Node struct {
+	c    *Cluster
+	id   int
+	proc *sim.Proc
+
+	vclock  vc.VC
+	knownTS []int32
+	// intervals[p] lists proc p's intervals known to this node, in TS order.
+	intervals [][]*Interval
+
+	pages     []*pageState
+	dirty     []int // pages written in the current interval
+	diffCache map[wnKey]*mem.Diff
+
+	wroteSinceGC []bool
+	liveDiffs    int64 // diffs currently cached (created + received)
+
+	// lock state per lock id (only for locks this node has interacted with)
+	locks map[int]*nodeLock
+
+	// lastGlobal is the global knowledge vector from the previous barrier
+	// release: everything at or below it is known to every node, so a
+	// barrier arrival ships every interval above it. Shipping the full
+	// knowledge delta (not just our own intervals) keeps the manager's
+	// knowledge happened-before-closed at every instant, which the merge
+	// procedure's applied-vector bookkeeping relies on.
+	lastGlobal []int32
+
+	Stats stats.Node
+}
+
+type nodeLock struct {
+	state    lockNodeState
+	pending  *sim.Call // queued acquire waiting for our release
+	pendKnow []int32   // its knowledge vector
+	relVC    vc.VC     // our vector clock at the last release
+}
+
+type lockNodeState uint8
+
+const (
+	lockNone    lockNodeState = iota // never held / not expecting
+	lockWaiting                      // requested, grant may be forwarded to us early
+	lockHolding
+	lockReleased // we hold the token but are not in the critical section
+)
+
+// ID returns the node id (0..Procs-1).
+func (n *Node) ID() int { return n.id }
+
+// Procs returns the cluster size.
+func (n *Node) Procs() int { return n.c.params.Procs }
+
+// Proc exposes the simulated process (for Compute and time queries).
+func (n *Node) Proc() *sim.Proc { return n.proc }
+
+// Compute models local computation taking d of virtual time.
+func (n *Node) Compute(d sim.Time) { n.proc.Advance(d) }
+
+func newNode(c *Cluster, id int) *Node {
+	n := &Node{
+		c:            c,
+		id:           id,
+		vclock:       vc.New(c.params.Procs),
+		knownTS:      make([]int32, c.params.Procs),
+		intervals:    make([][]*Interval, c.params.Procs),
+		pages:        make([]*pageState, c.npages),
+		diffCache:    make(map[wnKey]*mem.Diff),
+		wroteSinceGC: make([]bool, c.npages),
+		locks:        make(map[int]*nodeLock),
+		lastGlobal:   make([]int32, c.params.Procs),
+	}
+	initialMode := modeSW
+	if c.params.Protocol == MW {
+		initialMode = modeMW
+	}
+	for i := range n.pages {
+		ps := &pageState{
+			mode:           initialMode,
+			applied:        vc.New(c.params.Procs),
+			perceivedOwner: 0, // pages are allocated (and initially owned) by node 0
+			copysetFS:      nil,
+		}
+		if id == 0 {
+			ps.data = mem.NewPage()
+			ps.status = pageReadOnly
+			if c.params.Protocol != MW {
+				ps.owner = true
+			}
+		}
+		n.pages[i] = ps
+	}
+	return n
+}
+
+// --- typed shared-memory access ---
+
+// access returns the page bytes and offset for a shared address, running
+// the protocol fault handlers as needed. This is the software stand-in for
+// the SIGSEGV handler: the same faults fire, triggered by a check instead
+// of a trap.
+func (n *Node) access(addr, size int, write bool) ([]byte, int) {
+	if addr < 0 || addr+size > n.c.allocated {
+		panic(fmt.Sprintf("dsm: access [%d,%d) outside shared segment (%d allocated)", addr, addr+size, n.c.allocated))
+	}
+	pg := addr >> mem.PageShift
+	if (addr+size-1)>>mem.PageShift != pg {
+		panic(fmt.Sprintf("dsm: access [%d,%d) crosses page boundary", addr, addr+size))
+	}
+	ps := n.pages[pg]
+	if write {
+		if ps.status != pageReadWrite {
+			n.writeFault(pg)
+		}
+		n.markWritten(pg, ps)
+	} else if ps.status == pageInvalid {
+		n.readFault(pg)
+	}
+	return ps.data, addr & (mem.PageSize - 1)
+}
+
+// markWritten records the write for write-notice generation. Owned pages
+// (SW mode) use the wroteSW flag; MW pages were marked dirty when the twin
+// was created.
+func (n *Node) markWritten(pg int, ps *pageState) {
+	if ps.owner && !ps.wroteSW {
+		ps.wroteSW = true
+		n.dirty = append(n.dirty, pg)
+	}
+	n.c.detector.noteAccess(pg, n.id, true)
+}
+
+// ReadU32 reads a 32-bit word at byte address addr.
+func (n *Node) ReadU32(addr int) uint32 {
+	b, off := n.access(addr, 4, false)
+	return mem.LoadUint32(b, off)
+}
+
+// WriteU32 writes a 32-bit word at byte address addr.
+func (n *Node) WriteU32(addr int, v uint32) {
+	b, off := n.access(addr, 4, true)
+	mem.StoreUint32(b, off, v)
+}
+
+// ReadU64 reads a 64-bit word.
+func (n *Node) ReadU64(addr int) uint64 {
+	b, off := n.access(addr, 8, false)
+	return mem.LoadUint64(b, off)
+}
+
+// WriteU64 writes a 64-bit word.
+func (n *Node) WriteU64(addr int, v uint64) {
+	b, off := n.access(addr, 8, true)
+	mem.StoreUint64(b, off, v)
+}
+
+// --- faults ---
+
+// readFault services a read miss: bring the page up to date with every
+// write notice received for it.
+func (n *Node) readFault(pg int) {
+	n.Stats.ReadFaults++
+	n.c.detector.noteAccess(pg, n.id, false)
+	n.validate(pg)
+	ps := n.pages[pg]
+	if ps.status == pageInvalid {
+		ps.status = pageReadOnly
+	}
+}
+
+// writeFault services a write miss or a write to a protected page,
+// dispatching on the page's current mode.
+func (n *Node) writeFault(pg int) {
+	n.Stats.WriteFaults++
+	ps := n.pages[pg]
+	n.c.detector.noteAccess(pg, n.id, false)
+
+	if ps.owner {
+		// Owner writing again (page was downgraded only at transfer; an
+		// owned page can be Invalid right after a GC collapse).
+		if ps.status == pageInvalid || len(ps.pending) > 0 {
+			n.validate(pg)
+		}
+		ps.status = pageReadWrite
+		return
+	}
+
+	switch n.c.params.Protocol {
+	case MW:
+		n.writeFaultMW(pg, ps)
+	case SW:
+		n.writeFaultSW(pg, ps)
+	default:
+		n.writeFaultAdaptive(pg, ps)
+	}
+}
+
+// writeFaultMW is the TreadMarks path: validate, then twin.
+func (n *Node) writeFaultMW(pg int, ps *pageState) {
+	n.stayMW(pg, ps)
+}
+
+// makeTwin creates the pristine copy used for diffing; if a previous
+// interval's twin is still pending (lazy diffing), its diff is created
+// first so the twin can be reused.
+func (n *Node) makeTwin(pg int, ps *pageState) {
+	if ps.undiffed != nil {
+		n.makeDiff(pg, ps)
+	}
+	if ps.twin != nil {
+		// Twin already exists within this interval (re-fault after an
+		// invalidation); keep it.
+		if !ps.dirtyMW {
+			ps.dirtyMW = true
+			n.dirty = append(n.dirty, pg)
+		}
+		return
+	}
+	n.proc.Advance(n.c.params.CostTwin)
+	ps.twin = mem.Twin(ps.data)
+	ps.dirtyMW = true
+	n.dirty = append(n.dirty, pg)
+	n.Stats.TwinsCreated++
+	n.Stats.CumTwinBytes += int64(len(ps.twin))
+	n.Stats.LiveTwinBytes += int64(len(ps.twin))
+	n.Stats.NoteLive()
+}
+
+// makeDiff turns the node's pending twin into a diff (lazily, on demand).
+// It may run in handler context (serving a diff request), so it charges no
+// process time itself; callers in process context use diffCost, handler
+// callers fold the cost into the reply delay.
+func (n *Node) makeDiff(pg int, ps *pageState) *mem.Diff {
+	wn := ps.undiffed
+	if wn == nil {
+		panic("dsm: makeDiff without pending twin")
+	}
+	d := mem.MakeDiff(pg, ps.twin, ps.data)
+	wn.DataHint = d.DataBytes()
+	n.storeDiff(wn, d, true)
+	ps.undiffed = nil
+	n.Stats.LiveTwinBytes -= int64(len(ps.twin))
+	ps.twin = nil
+	n.noteDiffSize(ps, d)
+	n.c.detector.noteDiff(pg, d)
+	return d
+}
+
+// storeDiff caches a diff on this node, accounting for the diff pool.
+func (n *Node) storeDiff(wn *WriteNotice, d *mem.Diff, created bool) {
+	k := keyOf(wn)
+	if _, ok := n.diffCache[k]; ok {
+		return
+	}
+	n.diffCache[k] = d
+	n.Stats.DiffsStored++
+	n.liveDiffs++
+	n.Stats.LiveDiffBytes += int64(d.EncodedSize())
+	if created {
+		n.Stats.DiffsCreated++
+		n.Stats.CumDiffBytes += int64(d.EncodedSize())
+	}
+	n.Stats.NoteLive()
+	n.c.noteDiffCount(+1)
+}
+
+// noteDiffSize feeds the write-granularity adaptation (WFS+WG).
+func (n *Node) noteDiffSize(ps *pageState, d *mem.Diff) {
+	if s := d.DataBytes(); s > ps.lastDiffSize {
+		ps.lastDiffSize = s
+	} else if s > 0 {
+		// Exponential-ish tracking so the estimate can shrink too.
+		ps.lastDiffSize = (ps.lastDiffSize + s) / 2
+	}
+}
+
+// setMode flips the per-page state variable, counting transitions.
+func (n *Node) setMode(ps *pageState, m pageMode) {
+	if ps.mode == m {
+		return
+	}
+	ps.mode = m
+	if m == modeMW {
+		n.Stats.SWtoMW++
+	} else {
+		n.Stats.MWtoSW++
+	}
+}
+
+// wgAllowsSW reports whether write-granularity adaptation permits moving
+// this page to SW mode. For WFS it always does; for WFS+WG only pages with
+// large diffs (or pages that never went through MW measuring) qualify.
+func (n *Node) wgAllowsSW(ps *pageState) bool {
+	if n.c.params.Protocol != WFSWG {
+		return true
+	}
+	if !ps.wgProbed {
+		return true
+	}
+	return ps.lastDiffSize >= n.c.params.WGThreshold
+}
+
+// memPressure reports whether this node's twin+diff pool exceeds the GC
+// trigger.
+func (n *Node) memPressure() bool {
+	return n.Stats.LiveTwinBytes+n.Stats.LiveDiffBytes > n.c.params.DiffSpaceLimit
+}

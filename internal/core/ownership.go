@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+
+	"adsm/internal/sim"
+	"adsm/internal/vc"
+)
+
+// Ownership machinery: the adaptive ownership refusal protocol (Section
+// 3.1.1) and the pure single-writer protocol with static homes, request
+// forwarding and the ownership quantum (Section 2.3).
+
+// --- adaptive protocols (WFS, WFS+WG) ---
+
+// writeFaultAdaptive services a write fault under WFS/WFS+WG, dispatching
+// on the page's state variable.
+func (n *Node) writeFaultAdaptive(pg int, ps *pageState) {
+	if ps.mode == modeMW {
+		// I dropped ownership earlier but remain the grant authority:
+		// self-reacquire when adaptation says false sharing has stopped.
+		if ps.wasLast && n.shouldResumeSW(ps) {
+			if ps.status == pageInvalid {
+				n.validate(pg)
+			}
+			ps.wasLast = false
+			ps.owner = true
+			ps.version++
+			ps.perceivedOwner = n.id
+			ps.perceivedVersion = ps.version
+			ps.ownedSince = n.proc.Now()
+			n.setMode(ps, modeSW)
+			ps.status = pageReadWrite
+			return
+		}
+		if n.shouldResumeSW(ps) && n.tryOwnership(pg, ps, true) {
+			return
+		}
+		n.stayMW(pg, ps)
+		return
+	}
+
+	// SW mode: request ownership from the last perceived owner. A refusal
+	// detects write-write false sharing and flips the page to MW.
+	if ps.perceivedOwner == n.id {
+		// Stale self-perception with no authority: treat as refusal.
+		n.setMode(ps, modeMW)
+		ps.seesFS = true
+		n.stayMW(pg, ps)
+		return
+	}
+	if n.tryOwnership(pg, ps, false) {
+		return
+	}
+	n.setMode(ps, modeMW)
+	n.stayMW(pg, ps)
+}
+
+// stayMW completes a write fault on the multiple-writer path. Notices can
+// arrive during any of the blocking steps (validate's fetches, the twin
+// copy cost), so the page is re-merged until it settles before being made
+// writable.
+func (n *Node) stayMW(pg int, ps *pageState) {
+	if ps.status == pageInvalid || len(ps.pending) > 0 {
+		n.validate(pg)
+	}
+	n.makeTwin(pg, ps)
+	for len(ps.pending) > 0 {
+		// Arrived while the twin was being made: the diffs apply to both
+		// the data and the twin, preserving our write detection.
+		n.validate(pg)
+	}
+	ps.status = pageReadWrite
+}
+
+// shouldResumeSW implements the MW->SW adaptation checks of Section 3.1.2:
+// no locally-perceived false sharing, every copyset member reported that it
+// sees the page as single-writer, and (WFS+WG only) the page's diffs are
+// large enough that whole-page moves win.
+func (n *Node) shouldResumeSW(ps *pageState) bool {
+	if ps.seesFS {
+		return false
+	}
+	for _, fs := range ps.copysetFS {
+		if fs {
+			return false
+		}
+	}
+	return n.wgAllowsSW(ps)
+}
+
+// tryOwnership issues an ownership request to the last perceived owner
+// (always two messages, never forwarded). Returns true when ownership was
+// granted; on refusal the caller switches the page to MW.
+func (n *Node) tryOwnership(pg int, ps *pageState, resume bool) bool {
+	// If diff-backed write notices are pending, merge them first so that
+	// the grant (whole-page semantics) starts from a complete copy.
+	hasDiffs := false
+	for _, wn := range ps.pending {
+		if !wn.Owner && !wn.Int.VC.Leq(ps.applied) {
+			hasDiffs = true
+			break
+		}
+	}
+	if hasDiffs {
+		n.validate(pg)
+	}
+
+	best := bestOwnerWN(ps.pending)
+	target := ps.perceivedOwner
+	version := ps.perceivedVersion
+	if best != nil && best.Version >= version {
+		target = best.Int.Proc
+		version = best.Version
+	}
+	if target == n.id {
+		return false
+	}
+	needPage := ps.data == nil || (best != nil && !best.Int.VC.Leq(ps.applied))
+
+	n.Stats.OwnReqs++
+	resp := n.c.net.Call(n.proc, target, ownReq{
+		Page:     pg,
+		Version:  version,
+		NeedPage: needPage,
+		Resume:   resume,
+		Applied:  ps.applied.Copy(),
+	}).(ownResp)
+
+	if !resp.Granted && resp.Data == nil {
+		// Refused without a page transfer: leave the pending notices
+		// untouched; the MW fault path will run the full merge.
+		ps.seesFS = true
+		return false
+	}
+
+	if resp.Data != nil {
+		n.Stats.PageFetches++
+		n.installPage(pg, ps, resp.Data, resp.Applied)
+	}
+	// With a chain copy installed (or our copy provably current), owner
+	// write notices are subsumed; concurrent diff-backed notices must
+	// still be applied.
+	var rest []*WriteNotice
+	for _, wn := range ps.pending {
+		if wn.Owner || wn.Int.VC.Leq(ps.applied) {
+			continue
+		}
+		rest = append(rest, wn)
+	}
+	ps.pending = ps.pending[:0]
+	if len(rest) > 0 {
+		n.fetchDiffs(pg, ps, rest)
+		n.applyDiffs(pg, ps, rest)
+	}
+
+	if !resp.Granted {
+		ps.seesFS = true
+		if ps.status == pageInvalid && ps.data != nil {
+			ps.status = pageReadOnly
+		}
+		return false
+	}
+
+	ps.owner = true
+	ps.wasLast = false
+	ps.version = resp.Version
+	ps.perceivedOwner = n.id
+	ps.perceivedVersion = resp.Version
+	ps.ownedSince = n.proc.Now()
+	n.setMode(ps, modeSW)
+	ps.seesFS = false
+	for len(ps.pending) > 0 {
+		// Notices ingested while the grant was in flight.
+		n.validate(pg)
+	}
+	ps.status = pageReadWrite
+	return true
+}
+
+// serveOwnership handles an incoming adaptive ownership request (handler
+// context). Grant iff this node is still the (last) owner at the version
+// the requester perceives and has no uncommitted single-writer writes;
+// otherwise write-write false sharing has been detected and the request is
+// refused (Section 3.1.1).
+func (n *Node) serveOwnership(c *sim.Call, from int, m ownReq) {
+	ps := n.pages[m.Page]
+	grantable := (ps.owner || ps.wasLast) && ps.version == m.Version &&
+		!ps.wroteSW && !ps.dropOwnership
+
+	if grantable {
+		ps.owner = false
+		ps.wasLast = false
+		if ps.status == pageReadWrite {
+			// Write-protect the grantor's copy so any later write by us
+			// faults and reveals itself (the version check then detects
+			// the onset of false sharing; our version stays stale by
+			// design).
+			ps.status = pageReadOnly
+		}
+		newVer := ps.version + 1
+		// The grantor learns who took ownership (for routing) but NOT the
+		// new version number: "when p1 writes to the page, it no longer
+		// has an up-to-date value of the version number, indicating the
+		// onset of write-write false sharing" (paper Section 3.1.1). Only
+		// the requester increments; everyone else learns the new version
+		// through owner write notices at synchronization.
+		ps.perceivedOwner = from
+		n.Stats.OwnGrants++
+		var data []byte
+		var applied vc.VC
+		if m.NeedPage || !ps.applied.Leq(m.Applied) {
+			data = make([]byte, len(ps.data))
+			copy(data, ps.data)
+			applied = ps.applied.Copy()
+		}
+		c.Reply(ownResp{Granted: true, Version: newVer, Data: data, Applied: applied})
+		return
+	}
+
+	n.Stats.OwnRefusals++
+	ps.seesFS = true
+	if ps.owner {
+		if ps.wroteSW {
+			// Cannot drop yet: no twin exists, so the uncommitted writes
+			// can only be published as an owner write notice at the next
+			// release (paper 3.1.1).
+			ps.dropOwnership = true
+		} else if !ps.dropOwnership {
+			n.queueOwnershipDrop(m.Page, ps)
+		}
+	}
+	var data []byte
+	var applied vc.VC
+	if m.NeedPage && ps.data != nil {
+		data = make([]byte, len(ps.data))
+		copy(data, ps.data)
+		applied = ps.applied.Copy()
+	}
+	c.Reply(ownResp{Granted: false, Version: ps.version, Data: data, Applied: applied})
+}
+
+// --- pure single-writer protocol ---
+
+// writeFaultSW requests ownership through the page's static home. The home
+// forwards to the current owner; ownership and the page contents migrate
+// to the requester (2 or 3 messages depending on whether the home is the
+// owner).
+func (n *Node) writeFaultSW(pg int, ps *pageState) {
+	n.Stats.OwnReqs++
+	home := n.c.homeOf(pg)
+	ps.swWaiting = true
+	resp := n.c.net.Call(n.proc, home, swOwnReq{Page: pg}).(swOwnGrant)
+	n.Stats.PageFetches++
+	n.installPage(pg, ps, resp.Data, resp.Applied)
+	// In the pure SW protocol every write notice is an owner write notice,
+	// and the granted copy is the newest link of the ownership chain, so
+	// it subsumes anything that arrived while the request was in flight.
+	ps.pending = ps.pending[:0]
+	ps.owner = true
+	ps.swWaiting = false
+	ps.version = resp.Version
+	ps.perceivedOwner = n.id
+	ps.perceivedVersion = resp.Version
+	ps.ownedSince = n.proc.Now()
+	ps.status = pageReadWrite
+	if len(ps.deferred) > 0 {
+		// Requests queued here while our own request was in flight.
+		n.scheduleSWGrant(pg, ps)
+	}
+}
+
+// serveSWOwn handles a single-writer ownership request (handler context):
+// the home forwards to its recorded owner; the owner grants, respecting the
+// ownership quantum; stale nodes forward along their perceived-owner chain.
+func (n *Node) serveSWOwn(c *sim.Call, from int, m swOwnReq) {
+	ps := n.pages[m.Page]
+	if m.Hops > 64*n.c.params.Procs {
+		var dump string
+		for _, o := range n.c.nodes {
+			q := o.pages[m.Page]
+			dump += fmt.Sprintf("\n  node%d: owner=%v waiting=%v perceived=%d ver=%d deferred=%d",
+				o.id, q.owner, q.swWaiting, q.perceivedOwner, q.version, len(q.deferred))
+		}
+		dump += fmt.Sprintf("\n  origin=%d at=%d from=%d", c.Origin(), n.id, from)
+		panic(fmt.Sprintf("dsm: sw ownership forwarding loop on page %d%s", m.Page, dump))
+	}
+	if !ps.owner {
+		// Home or stale target: chase the perceived-owner chain. Perceived
+		// owners always point at strictly newer version holders, so the
+		// chain is acyclic; a request can bounce between a granting owner
+		// and a not-yet-installed requester while a transfer is in flight,
+		// which is real forwarding traffic (the SW ping-pong cost), and it
+		// ends in the next owner's quantum queue.
+		target := ps.perceivedOwner
+		if target == n.id {
+			panic("dsm: sw ownership chain broken")
+		}
+		n.Stats.Forwards++
+		c.Forward(target, swOwnReq{Page: m.Page, Hops: m.Hops + 1})
+		return
+	}
+	// We are the owner: grant, but only after holding the page for the
+	// minimum quantum (Mirage/CVM ping-pong mitigation).
+	ps.deferred = append(ps.deferred, c)
+	if len(ps.deferred) == 1 {
+		n.scheduleSWGrant(m.Page, ps)
+	}
+}
+
+// scheduleSWGrant arranges for the oldest deferred request to be granted
+// once the quantum expires (immediately if it already has).
+func (n *Node) scheduleSWGrant(pg int, ps *pageState) {
+	now := n.c.eng.Now()
+	due := ps.ownedSince + n.c.params.OwnershipQuantum
+	if due <= now {
+		n.grantSW(pg, ps)
+		return
+	}
+	n.c.eng.After(due-now, func() { n.grantSW(pg, ps) })
+}
+
+// grantSW transfers ownership and the page to the oldest deferred
+// requester, then forwards any remaining queued requests to the new owner.
+func (n *Node) grantSW(pg int, ps *pageState) {
+	if len(ps.deferred) == 0 {
+		return
+	}
+	if !ps.owner {
+		// Lost ownership while the grant was pending; push the queue along.
+		for _, c := range ps.deferred {
+			n.Stats.Forwards++
+			c.Forward(ps.perceivedOwner, swOwnReq{Page: pg, Hops: 1})
+		}
+		ps.deferred = ps.deferred[:0]
+		return
+	}
+	c := ps.deferred[0]
+	ps.deferred = ps.deferred[1:]
+	requester := c.Origin()
+
+	// Ownership transfer is a release-class event for this page: publish
+	// any uncommitted writes as an owner write notice first so they remain
+	// visible in the happened-before order.
+	if ps.wroteSW {
+		n.closePageInterval(pg, ps)
+	}
+	newVer := ps.version + 1
+	// In the pure SW protocol both nodes learn the new version number.
+	ps.version = newVer
+	ps.owner = false
+	ps.perceivedOwner = requester
+	ps.perceivedVersion = newVer
+	if ps.status == pageReadWrite {
+		ps.status = pageReadOnly
+	}
+	n.Stats.OwnGrants++
+	data := make([]byte, len(ps.data))
+	copy(data, ps.data)
+	c.Reply(swOwnGrant{Version: newVer, Data: data, Applied: ps.applied.Copy()})
+
+	for _, rest := range ps.deferred {
+		n.Stats.Forwards++
+		rest.Forward(requester, swOwnReq{Page: pg, Hops: 1})
+	}
+	ps.deferred = ps.deferred[:0]
+}
+
+// closePageInterval publishes a single page's uncommitted owner writes as
+// their own interval (used when ownership is torn away mid-interval).
+func (n *Node) closePageInterval(pg int, ps *pageState) {
+	ts := n.vclock[n.id] + 1
+	ivc := n.vclock.Copy()
+	ivc[n.id] = ts
+	iv := &Interval{Proc: n.id, TS: ts, VC: ivc}
+	wn := &WriteNotice{Page: pg, Int: iv, Owner: true, Version: ps.version}
+	iv.WNs = append(iv.WNs, wn)
+	ps.myLastWN = wn
+	ps.knownWNs = append(ps.knownWNs, wn)
+	ps.wroteSW = false
+	ps.applied.Join(ivc)
+	n.vclock[n.id] = ts
+	n.knownTS[n.id] = ts
+	n.intervals[n.id] = append(n.intervals[n.id], iv)
+	n.wroteSinceGC[pg] = true
+	n.c.detector.noteWrite(wn)
+	// Remove from the dirty list; its notice is already published.
+	for i, d := range n.dirty {
+		if d == pg {
+			n.dirty = append(n.dirty[:i], n.dirty[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+
+	"adsm/internal/mem"
+	"adsm/internal/sim"
+)
+
+// This file implements the merge procedure that makes an invalid page
+// valid: fetching an owner copy when owner write notices are pending,
+// discarding dominated notices, and fetching and applying the remaining
+// diffs in happened-before order (paper Section 3.1.1, "Merging Single
+// Writer Copies and Diffs"). The same code services pure-MW misses (no
+// owner write notices ever) and pure-SW misses (no diffs ever).
+
+// bestOwnerWN returns the pending owner write notice with the highest
+// version (ties broken by interval VC domination).
+func bestOwnerWN(pending []*WriteNotice) *WriteNotice {
+	var best *WriteNotice
+	for _, wn := range pending {
+		if !wn.Owner {
+			continue
+		}
+		if best == nil || wn.Version > best.Version ||
+			(wn.Version == best.Version && best.Int.VC.Leq(wn.Int.VC)) {
+			best = wn
+		}
+	}
+	return best
+}
+
+// debugValidate, when set, traces merge decisions (tests only).
+var debugValidate func(n *Node, pg int, ps *pageState, stage string)
+
+// validate brings the page up to date with all write notices this node has
+// received, leaving it valid. It loops because its RPCs block: a write
+// notice can be ingested (by a synchronization message handled for another
+// reason, e.g. this node is the barrier manager) while a fetch is in
+// flight, and must be merged before the page may be declared valid — the
+// classic reentrancy hazard of TreadMarks' SIGIO handler. Runs in process
+// context.
+func (n *Node) validate(pg int) {
+	ps := n.pages[pg]
+	for round := 0; ; round++ {
+		if round > 1000 {
+			panic(fmt.Sprintf("dsm: node %d cannot settle page %d", n.id, pg))
+		}
+		if debugValidate != nil {
+			debugValidate(n, pg, ps, "enter")
+		}
+		n.mergeOnce(pg, ps)
+		if len(ps.pending) == 0 {
+			break
+		}
+	}
+	if ps.status == pageInvalid && ps.data != nil {
+		ps.status = pageReadOnly
+	}
+}
+
+// mergeOnce performs one merge pass over the currently pending notices.
+func (n *Node) mergeOnce(pg int, ps *pageState) {
+	best := bestOwnerWN(ps.pending)
+	if ps.owner && best != nil && best.Version <= ps.version {
+		// We are the chain head: older owner copies are subsumed by ours.
+		best = nil
+	}
+
+	needFetch := ps.data == nil
+	if best != nil && !best.Int.VC.Leq(ps.applied) {
+		needFetch = true
+	}
+	if needFetch {
+		target := ps.perceivedOwner
+		if best != nil {
+			target = best.Int.Proc
+		}
+		if target == n.id {
+			if ps.data == nil {
+				panic(fmt.Sprintf("dsm: node %d is fetch target for page %d but has no copy", n.id, pg))
+			}
+		} else {
+			n.fetchPage(pg, ps, target)
+		}
+	}
+
+	// Partition the pending notices: drop everything reflected in our
+	// copy; drop owner write notices subsumed by the fetched owner copy
+	// (the grant chain guarantees each owner's copy contains all earlier
+	// owners' writes); keep diff-backed notices to apply.
+	var rest []*WriteNotice
+	for _, wn := range ps.pending {
+		if wn.Int.VC.Leq(ps.applied) || wn.Owner {
+			continue
+		}
+		rest = append(rest, wn)
+	}
+	ps.pending = ps.pending[:0]
+
+	if len(rest) > 0 {
+		n.fetchDiffs(pg, ps, rest)
+		n.applyDiffs(pg, ps, rest)
+	}
+}
+
+// fetchPage retrieves a whole-page copy from target and installs it,
+// preserving any uncommitted local writes recorded under a twin.
+var debugFetch func(n *Node, pg, target int, applied []int32, reg5 byte)
+
+func (n *Node) fetchPage(pg int, ps *pageState, target int) {
+	resp := n.c.net.Call(n.proc, target, pageReq{Page: pg}).(pageResp)
+	n.Stats.PageFetches++
+	if debugFetch != nil {
+		debugFetch(n, pg, target, resp.Applied, resp.Data[5*256])
+	}
+	n.installPage(pg, ps, resp.Data, resp.Applied.Copy())
+}
+
+// installPage replaces the local copy with fetched contents. The incoming
+// copy's applied vector need not dominate ours (two owner copies can be
+// incomparable during transitions), so every diff-backed write our old copy
+// reflected that the new copy misses is replayed — re-fetching the diff
+// from its writer if it is not cached. Writes held under a twin (this
+// node's newest, not-yet-diffed modifications) are re-applied last and only
+// to the data, keeping the twin a pristine base. Runs in process context.
+func (n *Node) installPage(pg int, ps *pageState, data []byte, applied []int32) {
+	old := ps.applied.Copy()
+
+	// Diff-backed writes our old copy had that the new copy misses.
+	var replay []*WriteNotice
+	for _, wn := range ps.knownWNs {
+		if wn.Owner {
+			// Owner-copy content is preserved by the grant chain: every
+			// owner's copy contains all earlier owners' writes.
+			continue
+		}
+		if !wn.Int.VC.Leq(old) || wn.Int.VC.Leq(applied) {
+			continue
+		}
+		if wn.Int.Proc == n.id && n.diffCache[keyOf(wn)] == nil {
+			continue // our own still-undiffed writes ride along in `mine`
+		}
+		replay = append(replay, wn)
+	}
+
+	var mine *mem.Diff
+	if ps.twin != nil {
+		mine = mem.MakeDiff(pg, ps.twin, ps.data)
+		ps.data = append(ps.data[:0], data...)
+		ps.twin = append(ps.twin[:0], data...)
+	} else {
+		if ps.data == nil {
+			ps.data = make([]byte, len(data))
+		}
+		copy(ps.data, data)
+	}
+	ps.applied = append(ps.applied[:0], applied...)
+	if ps.undiffed != nil {
+		// Committed-but-undiffed writes are re-applied via `mine`.
+		ps.applied.Join(ps.undiffed.Int.VC)
+	}
+
+	if len(replay) > 0 {
+		n.fetchDiffs(pg, ps, replay)
+		for _, wn := range orderWNs(replay) {
+			d := n.diffCache[keyOf(wn)]
+			if d == nil {
+				panic("dsm: replay diff unavailable")
+			}
+			d.Apply(ps.data)
+			if ps.twin != nil {
+				d.Apply(ps.twin)
+			}
+			ps.applied.Join(wn.Int.VC)
+		}
+	}
+	if mine != nil {
+		mine.Apply(ps.data)
+	}
+}
+
+// fetchDiffs retrieves the diffs for the given write notices that are not
+// already cached, batching one request per writer and issuing them in
+// parallel (TreadMarks behaviour). Piggybacks this node's false-sharing
+// perception (adaptive mechanism 1).
+func (n *Node) fetchDiffs(pg int, ps *pageState, wns []*WriteNotice) {
+	missing := make(map[int][]wnKey)
+	for _, wn := range wns {
+		k := keyOf(wn)
+		if n.diffCache[k] != nil {
+			continue
+		}
+		if wn.Int.Proc == n.id {
+			panic("dsm: own write notice pending")
+		}
+		missing[wn.Int.Proc] = append(missing[wn.Int.Proc], k)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	var targets []sim.Target
+	for p := 0; p < n.c.params.Procs; p++ {
+		if ks, ok := missing[p]; ok {
+			targets = append(targets, sim.Target{
+				To: p,
+				M:  diffReq{Page: pg, Wants: ks, SeesFS: ps.seesFS},
+			})
+		}
+	}
+	resps := n.c.net.Multicall(n.proc, targets)
+	for _, r := range resps {
+		dr := r.(diffResp)
+		for i, d := range dr.Diffs {
+			k := dr.Keys[i]
+			wn := findWN(wns, k)
+			if wn == nil {
+				panic("dsm: received diff for unknown write notice")
+			}
+			n.storeDiff(wn, d, false)
+		}
+	}
+}
+
+func findWN(wns []*WriteNotice, k wnKey) *WriteNotice {
+	for _, wn := range wns {
+		if keyOf(wn) == k {
+			return wn
+		}
+	}
+	return nil
+}
+
+var debugApply func(n *Node, pg int, wn *WriteNotice, d *mem.Diff, ps *pageState)
+
+// applyDiffs applies the diffs for the write notices in happened-before
+// order, charging the per-diff application cost.
+func (n *Node) applyDiffs(pg int, ps *pageState, wns []*WriteNotice) {
+	for _, wn := range orderWNs(wns) {
+		d := n.diffCache[keyOf(wn)]
+		if d == nil {
+			panic("dsm: missing diff at apply time")
+		}
+		if debugApply != nil {
+			debugApply(n, pg, wn, d, ps)
+		}
+		d.Apply(ps.data)
+		if ps.twin != nil {
+			d.Apply(ps.twin)
+		}
+		ps.applied.Join(wn.Int.VC)
+		n.noteDiffSize(ps, d)
+		n.Stats.DiffsApplied++
+		n.proc.Advance(n.c.params.applyCost(d))
+	}
+}
+
+// --- server side ---
+
+// servePage handles a pageReq: reply with a snapshot of our copy, or
+// forward along the perceived-owner chain if we have none.
+func (n *Node) servePage(c *sim.Call, from int, m pageReq) {
+	ps := n.pages[m.Page]
+	if ps.data == nil {
+		if m.Hops > 4*n.c.params.Procs {
+			panic(fmt.Sprintf("dsm: page %d request forwarding loop", m.Page))
+		}
+		target := ps.perceivedOwner
+		if target == n.id {
+			panic(fmt.Sprintf("dsm: node %d asked for page %d it never had", n.id, m.Page))
+		}
+		n.Stats.Forwards++
+		c.Forward(target, pageReq{Page: m.Page, Hops: m.Hops + 1})
+		return
+	}
+	// WFS+WG: a remote read of a page we own and have modified makes the
+	// page read-write shared; switch it to MW at our next release so its
+	// write granularity can be measured (Section 3.3).
+	if n.c.params.Protocol == WFSWG && ps.owner && !ps.wgProbed &&
+		(ps.wroteSW || ps.myLastWN != nil) && from != n.id {
+		ps.wgProbed = true
+		ps.dropOwnership = true
+		if !ps.wroteSW {
+			// Nothing dirty this interval: drop ownership immediately via
+			// an empty-handed release at the next interval close; mark the
+			// page so the drop happens even without new writes.
+			n.queueOwnershipDrop(m.Page, ps)
+		}
+	}
+	snap := make([]byte, len(ps.data))
+	copy(snap, ps.data)
+	c.Reply(pageResp{Data: snap, Applied: ps.applied.Copy()})
+}
+
+// queueOwnershipDrop performs the deferred ownership drop for pages with
+// no uncommitted writes: the owner can drop immediately because there is
+// nothing to diff.
+func (n *Node) queueOwnershipDrop(pg int, ps *pageState) {
+	ps.dropOwnership = false
+	ps.owner = false
+	ps.wasLast = true
+	if ps.status == pageReadWrite {
+		ps.status = pageReadOnly
+	}
+	n.setMode(ps, modeMW)
+}
+
+// serveDiffs handles a diffReq: create missing diffs lazily (charged as
+// reply latency) and record the requester's false-sharing perception in
+// the copyset (adaptive mechanism 1).
+func (n *Node) serveDiffs(c *sim.Call, from int, m diffReq) {
+	ps := n.pages[m.Page]
+	if n.c.params.Protocol.Adaptive() {
+		if ps.copysetFS == nil {
+			ps.copysetFS = make(map[int]bool)
+		}
+		ps.copysetFS[from] = m.SeesFS
+	}
+	var cost sim.Time
+	resp := diffResp{}
+	for _, k := range m.Wants {
+		d := n.diffCache[k]
+		if d == nil {
+			if ps.undiffed != nil && keyOf(ps.undiffed) == k {
+				d = n.makeDiff(m.Page, ps)
+				cost += n.c.params.diffCost(d)
+			} else {
+				panic(fmt.Sprintf("dsm: node %d asked for diff %+v it does not have", n.id, k))
+			}
+		}
+		resp.Diffs = append(resp.Diffs, d)
+		resp.Keys = append(resp.Keys, k)
+	}
+	c.ReplyAfter(cost, resp)
+}

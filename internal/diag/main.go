@@ -1,0 +1,48 @@
+// Command diag prints per-protocol statistics for one application
+// (development tool).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"adsm"
+	"adsm/internal/apps"
+)
+
+func main() {
+	name := "IS"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	quick := len(os.Args) > 2 && os.Args[2] == "quick"
+	seqApp, _ := apps.New(name, quick)
+	cl := adsm.NewCluster(adsm.Config{Procs: 1, Protocol: adsm.MW})
+	seqApp.Setup(cl)
+	if _, err := cl.Run(seqApp.Body); err != nil {
+		panic(err)
+	}
+	fmt.Printf("seq     checksum=%v\n", seqApp.Result())
+	for _, procs := range []int{2, 4, 8} {
+		for _, proto := range []adsm.Protocol{adsm.MW, adsm.WFSWG, adsm.WFS, adsm.SW} {
+			app, err := apps.New(name, quick)
+			if err != nil {
+				panic(err)
+			}
+			cl := adsm.NewCluster(adsm.Config{Procs: procs, Protocol: proto})
+			app.Setup(cl)
+			rep, err := cl.Run(app.Body)
+			if err != nil {
+				fmt.Printf("p=%d %-7v ERR %v\n", procs, proto, err)
+				continue
+			}
+			s := rep.Stats
+			mark := ""
+			if d := app.Result() - seqApp.Result(); d > 1e-4 || d < -1e-4 {
+				mark = "  <-- MISMATCH"
+			}
+			fmt.Printf("p=%d %-7v elapsed=%9v chk=%v msgs=%d data=%.2fMB twins=%d gc=%d%s\n",
+				procs, proto, rep.Elapsed.Round(1000), app.Result(), s.Messages, rep.DataMB(), s.TwinsCreated, s.GCRuns, mark)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package mem implements the shared-memory page substrate used by all the
+// DSM protocols: fixed-size pages, twins (pristine copies made at the first
+// write of an interval), and run-length-encoded diffs, the TreadMarks record
+// of the modifications made to a page.
+package mem
+
+import "encoding/binary"
+
+// Page geometry. The paper's platform used 4096-byte pages.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	// WordSize is the comparison granularity when diffing (TreadMarks
+	// compares 32-bit words).
+	WordSize = 4
+)
+
+// PageOf returns the page number containing byte address addr.
+func PageOf(addr int) int { return addr >> PageShift }
+
+// PageBase returns the first byte address of page p.
+func PageBase(p int) int { return p << PageShift }
+
+// NewPage allocates a zeroed page.
+func NewPage() []byte { return make([]byte, PageSize) }
+
+// Twin returns a pristine copy of the page (the "twin" made on the first
+// write to a write-protected page).
+func Twin(page []byte) []byte {
+	t := make([]byte, len(page))
+	copy(t, page)
+	return t
+}
+
+// Run is one modified extent within a page.
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// Diff is a run-length encoded record of the modifications made to a page,
+// obtained by comparing the twin with the current contents.
+type Diff struct {
+	Page int
+	Runs []Run
+}
+
+// MakeDiff compares twin and cur word by word and returns the run-length
+// encoded modifications. Returns a Diff with no runs when the copies are
+// identical.
+func MakeDiff(page int, twin, cur []byte) *Diff {
+	if len(twin) != len(cur) {
+		panic("mem: twin/page size mismatch")
+	}
+	d := &Diff{Page: page}
+	n := len(cur)
+	i := 0
+	for i < n {
+		// Find the next differing word.
+		for i < n && wordEqual(twin, cur, i) {
+			i += WordSize
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !wordEqual(twin, cur, i) {
+			i += WordSize
+		}
+		run := Run{Off: start, Data: make([]byte, i-start)}
+		copy(run.Data, cur[start:i])
+		d.Runs = append(d.Runs, run)
+	}
+	return d
+}
+
+func wordEqual(a, b []byte, off int) bool {
+	end := off + WordSize
+	if end > len(a) {
+		end = len(a)
+	}
+	for i := off; i < end; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply writes the diff's runs into dst (the receiver's copy of the page).
+func (d *Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// DataBytes returns the number of modified bytes carried by the diff.
+func (d *Diff) DataBytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// EncodedSize returns the wire size of the diff: page id + per-run
+// (offset, length) headers + data, matching TreadMarks' runlength encoding.
+func (d *Diff) EncodedSize() int {
+	n := 8 // page id + run count
+	for _, r := range d.Runs {
+		n += 4 + len(r.Data)
+	}
+	return n
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d *Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Accessors for typed shared-memory access. All multi-byte values use
+// little-endian layout within the page.
+
+// LoadUint32 reads a 32-bit value at byte offset off within page bytes.
+func LoadUint32(page []byte, off int) uint32 {
+	return binary.LittleEndian.Uint32(page[off:])
+}
+
+// StoreUint32 writes a 32-bit value at byte offset off.
+func StoreUint32(page []byte, off int, v uint32) {
+	binary.LittleEndian.PutUint32(page[off:], v)
+}
+
+// LoadUint64 reads a 64-bit value at byte offset off.
+func LoadUint64(page []byte, off int) uint64 {
+	return binary.LittleEndian.Uint64(page[off:])
+}
+
+// StoreUint64 writes a 64-bit value at byte offset off.
+func StoreUint64(page []byte, off int, v uint64) {
+	binary.LittleEndian.PutUint64(page[off:], v)
+}

@@ -1,0 +1,189 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Fatalf("PageOf wrong")
+	}
+	if PageBase(3) != 3*PageSize {
+		t.Fatalf("PageBase wrong")
+	}
+}
+
+func TestDiffIdenticalPagesIsEmpty(t *testing.T) {
+	p := NewPage()
+	tw := Twin(p)
+	d := MakeDiff(0, tw, p)
+	if !d.Empty() || d.DataBytes() != 0 {
+		t.Fatalf("diff of identical pages not empty: %v", d)
+	}
+}
+
+func TestDiffSingleWord(t *testing.T) {
+	p := NewPage()
+	tw := Twin(p)
+	StoreUint32(p, 100, 0xdeadbeef)
+	d := MakeDiff(0, tw, p)
+	if len(d.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(d.Runs))
+	}
+	if d.Runs[0].Off != 100 || len(d.Runs[0].Data) != WordSize {
+		t.Fatalf("bad run %+v", d.Runs[0])
+	}
+	if d.DataBytes() != 4 {
+		t.Fatalf("DataBytes = %d", d.DataBytes())
+	}
+}
+
+func TestDiffCoalescesAdjacentWords(t *testing.T) {
+	p := NewPage()
+	tw := Twin(p)
+	for off := 200; off < 232; off += 4 {
+		StoreUint32(p, off, uint32(off))
+	}
+	d := MakeDiff(0, tw, p)
+	if len(d.Runs) != 1 {
+		t.Fatalf("adjacent modified words should coalesce into 1 run, got %d", len(d.Runs))
+	}
+	if d.Runs[0].Off != 200 || len(d.Runs[0].Data) != 32 {
+		t.Fatalf("bad coalesced run %+v", d.Runs[0])
+	}
+}
+
+func TestDiffSeparateRuns(t *testing.T) {
+	p := NewPage()
+	tw := Twin(p)
+	StoreUint32(p, 0, 1)
+	StoreUint32(p, 1024, 2)
+	d := MakeDiff(0, tw, p)
+	if len(d.Runs) != 2 {
+		t.Fatalf("want 2 runs, got %d", len(d.Runs))
+	}
+}
+
+func TestApplyReconstructs(t *testing.T) {
+	p := NewPage()
+	for i := range p {
+		p[i] = byte(i * 7)
+	}
+	tw := Twin(p)
+	// Mutate scattered regions.
+	copy(p[40:60], bytes.Repeat([]byte{0xAA}, 20))
+	copy(p[4000:4096], bytes.Repeat([]byte{0x55}, 96))
+	d := MakeDiff(0, tw, p)
+	rebuilt := Twin(tw)
+	d.Apply(rebuilt)
+	if !bytes.Equal(rebuilt, p) {
+		t.Fatalf("apply(diff(twin,cur), twin) != cur")
+	}
+}
+
+func TestWholePageOverwriteDiffSize(t *testing.T) {
+	p := NewPage()
+	tw := Twin(p)
+	for i := range p {
+		p[i] = byte(i + 1)
+	}
+	d := MakeDiff(0, tw, p)
+	if d.DataBytes() < PageSize-WordSize {
+		t.Fatalf("whole-page overwrite diff should be ~page size, got %d", d.DataBytes())
+	}
+	if d.EncodedSize() <= d.DataBytes() {
+		t.Fatalf("encoded size must include headers")
+	}
+}
+
+// Property: for random twin/current pairs, applying the diff to the twin
+// reproduces the current page exactly.
+func TestQuickDiffRoundTrip(t *testing.T) {
+	f := func(seed int64, nmods uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewPage()
+		r.Read(p)
+		tw := Twin(p)
+		for i := 0; i < int(nmods); i++ {
+			off := r.Intn(PageSize)
+			p[off] = byte(r.Int())
+		}
+		d := MakeDiff(0, tw, p)
+		rebuilt := Twin(tw)
+		d.Apply(rebuilt)
+		return bytes.Equal(rebuilt, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concurrent diffs that touch disjoint words commute (the
+// correctness condition MW merging relies on under data-race-free
+// programs with false sharing only).
+func TestQuickDisjointDiffsCommute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := NewPage()
+		r.Read(base)
+		// Writer A mutates even 64-byte blocks, writer B odd blocks.
+		pa := Twin(base)
+		pb := Twin(base)
+		for blk := 0; blk < PageSize/64; blk++ {
+			off := blk * 64
+			if blk%2 == 0 {
+				pa[off] = byte(r.Int()) | 1
+			} else {
+				pb[off+1] = byte(r.Int()) | 1
+			}
+		}
+		da := MakeDiff(0, base, pa)
+		db := MakeDiff(0, base, pb)
+		ab := Twin(base)
+		da.Apply(ab)
+		db.Apply(ab)
+		ba := Twin(base)
+		db.Apply(ba)
+		da.Apply(ba)
+		return bytes.Equal(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diff data bytes never exceed the page size, and the encoded
+// size is bounded by data + per-run overhead.
+func TestQuickDiffSizeBounds(t *testing.T) {
+	f := func(seed int64, nmods uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewPage()
+		tw := Twin(p)
+		for i := 0; i < int(nmods); i++ {
+			p[r.Intn(PageSize)] = byte(r.Int()) | 1
+		}
+		d := MakeDiff(0, tw, p)
+		if d.DataBytes() > PageSize {
+			return false
+		}
+		return d.EncodedSize() <= 8+len(d.Runs)*4+d.DataBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	p := NewPage()
+	StoreUint64(p, 8, 0x0102030405060708)
+	if LoadUint64(p, 8) != 0x0102030405060708 {
+		t.Fatalf("u64 roundtrip failed")
+	}
+	StoreUint32(p, 0, 42)
+	if LoadUint32(p, 0) != 42 {
+		t.Fatalf("u32 roundtrip failed")
+	}
+}

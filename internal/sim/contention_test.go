@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// TestReceiverLinkSerializes: large replies from many senders to one
+// receiver must queue on the receiver's inbound link (this is what makes
+// fetching N accumulated diffs slower than fetching one page).
+func TestReceiverLinkSerializes(t *testing.T) {
+	e := NewEngine()
+	nt := NewNet(e, 5, DefaultNetParams())
+	const payload = 4096
+	for i := 1; i < 5; i++ {
+		nt.Register(i, func(c *Call, from int, m Msg) {
+			c.Reply(testMsg{n: payload})
+		})
+	}
+	var elapsed Time
+	e.Spawn("caller", func(p *Proc) {
+		start := p.Now()
+		nt.Multicall(p, []Target{
+			{To: 1, M: testMsg{n: 8}},
+			{To: 2, M: testMsg{n: 8}},
+			{To: 3, M: testMsg{n: 8}},
+			{To: 4, M: testMsg{n: 8}},
+		})
+		elapsed = p.Now() - start
+	})
+	for i := 1; i < 5; i++ {
+		e.Spawn("server", func(p *Proc) { p.Advance(20 * Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All four 4KB responses must cross the caller's link back-to-back:
+	// at least 4 transfer times beyond the fixed latency.
+	transfer := Time(int64(payload+HeaderBytes) * nt.Params().PerBytePico / 1000)
+	min := 2*nt.Params().FixedDelay + 4*transfer
+	if elapsed < min {
+		t.Fatalf("multicall of 4x4KB finished in %v; receiver serialization requires >= %v", elapsed, min)
+	}
+	// But it must not be as slow as four sequential round trips.
+	max := 4 * (2*nt.Params().FixedDelay + transfer)
+	if elapsed >= max {
+		t.Fatalf("multicall of 4x4KB took %v, as slow as sequential calls (%v)", elapsed, max)
+	}
+}
+
+// TestSmallRepliesStillParallel: tiny replies barely occupy the link, so
+// a multicall completes in roughly one round trip.
+func TestSmallRepliesStillParallel(t *testing.T) {
+	e := NewEngine()
+	nt := NewNet(e, 4, DefaultNetParams())
+	for i := 1; i < 4; i++ {
+		nt.Register(i, func(c *Call, from int, m Msg) { c.Reply(testMsg{n: 8}) })
+	}
+	var elapsed Time
+	e.Spawn("caller", func(p *Proc) {
+		start := p.Now()
+		nt.Multicall(p, []Target{
+			{To: 1, M: testMsg{n: 8}}, {To: 2, M: testMsg{n: 8}}, {To: 3, M: testMsg{n: 8}},
+		})
+		elapsed = p.Now() - start
+	})
+	for i := 1; i < 4; i++ {
+		e.Spawn("server", func(p *Proc) { p.Advance(20 * Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 1200*Microsecond {
+		t.Fatalf("small multicall took %v, want ~1ms", elapsed)
+	}
+}

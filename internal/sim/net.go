@@ -1,0 +1,233 @@
+package sim
+
+// The network model: point-to-point messages with a fixed per-message
+// latency plus a per-byte cost, calibrated against the paper's measured
+// constants (1 ms minimum round trip, 1921 us remote 4 KB page miss).
+//
+// All protocol traffic is expressed as calls: a blocking request issued by
+// a process, answered by a handler on the target node. Handlers run as
+// plain events (the "interrupt" model of TreadMarks' SIGIO handler: they
+// never block, they mutate node state and reply, forward, or defer).
+
+// HeaderBytes models the UDP/protocol header charged per message.
+const HeaderBytes = 40
+
+// NetParams describes the network cost model.
+type NetParams struct {
+	// FixedDelay is the one-way per-message latency excluding payload.
+	FixedDelay Time
+	// PerBytePico is the transfer cost per payload byte, in picoseconds.
+	PerBytePico int64
+	// LocalDelay is charged when a node "sends" to itself (no message is
+	// counted; this models a local procedure call).
+	LocalDelay Time
+}
+
+// DefaultNetParams reproduces the paper's environment (155 Mbps ATM, UDP):
+// smallest-message RTT ~1 ms and 4 KB page fetch ~1921 us.
+func DefaultNetParams() NetParams {
+	return NetParams{
+		FixedDelay:  490 * Microsecond,
+		PerBytePico: 220_000, // 220 ns/byte effective user bandwidth
+		LocalDelay:  2 * Microsecond,
+	}
+}
+
+// Msg is a protocol message. Size reports the payload size in bytes used
+// for transfer-time and data-volume accounting; the fixed header is added
+// by the network layer.
+type Msg interface {
+	Size() int
+}
+
+// Handler services calls addressed to one node. It must not block: it
+// replies (possibly after a modelled processing cost), forwards the call to
+// another node, or stores the Call to reply later (deferred grant).
+type Handler func(c *Call, from int, m Msg)
+
+// Net connects n nodes with the given cost model and counts traffic.
+// Each node has a single inbound link: concurrent transfers to the same
+// receiver serialize (a message's payload occupies the link for its
+// transfer time). This is what makes fetching many accumulated diffs
+// slower than fetching one page, even when the requests go out in
+// parallel.
+type Net struct {
+	eng      *Engine
+	params   NetParams
+	handlers []Handler
+
+	// rxBusyUntil[i] is the time node i's inbound link frees up.
+	rxBusyUntil []Time
+
+	// Per-node counters, indexed by sending node.
+	MsgsSent  []int64
+	BytesSent []int64
+}
+
+// NewNet creates a network of n nodes on engine e.
+func NewNet(e *Engine, n int, params NetParams) *Net {
+	return &Net{
+		eng:         e,
+		params:      params,
+		handlers:    make([]Handler, n),
+		rxBusyUntil: make([]Time, n),
+		MsgsSent:    make([]int64, n),
+		BytesSent:   make([]int64, n),
+	}
+}
+
+// Register installs the call handler for node id.
+func (nt *Net) Register(id int, h Handler) { nt.handlers[id] = h }
+
+// Params returns the cost model in use.
+func (nt *Net) Params() NetParams { return nt.params }
+
+// TotalMsgs reports the total number of messages sent by all nodes.
+func (nt *Net) TotalMsgs() int64 {
+	var s int64
+	for _, v := range nt.MsgsSent {
+		s += v
+	}
+	return s
+}
+
+// TotalBytes reports the total bytes (payload+headers) sent by all nodes.
+func (nt *Net) TotalBytes() int64 {
+	var s int64
+	for _, v := range nt.BytesSent {
+		s += v
+	}
+	return s
+}
+
+// latency is the uncontended one-way delivery delay for a payload of the
+// given size (used by tests; actual deliveries add receiver-link queueing).
+func (nt *Net) latency(payload int) Time {
+	return nt.params.FixedDelay + Time(int64(payload+HeaderBytes)*nt.params.PerBytePico/1000)
+}
+
+// charge records one message of the given payload size from node `from`.
+func (nt *Net) charge(from, payload int) {
+	nt.MsgsSent[from]++
+	nt.BytesSent[from] += int64(payload + HeaderBytes)
+}
+
+// transmit models one message: fixed propagation, then the payload
+// occupies the receiver's inbound link for its transfer time. fn runs when
+// the message has fully arrived.
+func (nt *Net) transmit(from, to, payload int, fn func()) {
+	if from == to {
+		nt.eng.After(nt.params.LocalDelay, fn)
+		return
+	}
+	nt.charge(from, payload)
+	transfer := Time(int64(payload+HeaderBytes) * nt.params.PerBytePico / 1000)
+	headArrives := nt.eng.Now() + nt.params.FixedDelay
+	start := headArrives
+	if nt.rxBusyUntil[to] > start {
+		start = nt.rxBusyUntil[to]
+	}
+	done := start + transfer
+	nt.rxBusyUntil[to] = done
+	nt.eng.After(done-nt.eng.Now(), fn)
+}
+
+// callState tracks one blocking (multi-)call issued by a process.
+type callState struct {
+	p       *Proc
+	pending int
+	results []Msg
+}
+
+// Call is the handler-side view of one in-flight request. The handler (or
+// whoever it hands the Call to) must eventually Reply exactly once.
+type Call struct {
+	net    *Net
+	st     *callState
+	idx    int
+	origin int // node that issued the call
+	cur    int // node currently holding the call (for Reply/Forward accounting)
+}
+
+// Origin returns the node that issued the call.
+func (c *Call) Origin() int { return c.origin }
+
+// deliver sends m from -> to and invokes to's handler on arrival.
+func (nt *Net) deliver(c *Call, from, to int, m Msg) {
+	c.cur = to
+	nt.transmit(from, to, m.Size(), func() {
+		h := nt.handlers[to]
+		if h == nil {
+			panic("sim: no handler registered for node")
+		}
+		h(c, from, m)
+	})
+}
+
+// Call sends m to node `to` on behalf of process p (node p.ID()) and blocks
+// until the reply arrives; it returns the reply.
+func (nt *Net) Call(p *Proc, to int, m Msg) Msg {
+	st := &callState{p: p, pending: 1, results: make([]Msg, 1)}
+	c := &Call{net: nt, st: st, idx: 0, origin: p.ID()}
+	nt.deliver(c, p.ID(), to, m)
+	p.park("call")
+	return st.results[0]
+}
+
+// Target pairs a destination node with a request for Multicall.
+type Target struct {
+	To int
+	M  Msg
+}
+
+// Multicall issues all requests simultaneously and blocks until every
+// reply has arrived (elapsed time is the maximum of the individual calls,
+// modelling TreadMarks' parallel diff requests). Results are positional.
+func (nt *Net) Multicall(p *Proc, reqs []Target) []Msg {
+	if len(reqs) == 0 {
+		return nil
+	}
+	st := &callState{p: p, pending: len(reqs), results: make([]Msg, len(reqs))}
+	for i, r := range reqs {
+		c := &Call{net: nt, st: st, idx: i, origin: p.ID()}
+		nt.deliver(c, p.ID(), r.To, r.M)
+	}
+	p.park("multicall")
+	return st.results
+}
+
+// Reply answers the call with m; the reply travels from the node currently
+// holding the call back to the caller. May be called from a handler or from
+// process code (e.g. a lock holder releasing in its own execution).
+func (c *Call) Reply(m Msg) { c.ReplyAfter(0, m) }
+
+// ReplyAfter answers after a modelled processing cost d (e.g. diff
+// creation time on the responder).
+func (c *Call) ReplyAfter(d Time, m Msg) {
+	nt := c.net
+	from, to := c.cur, c.origin
+	nt.eng.After(d, func() {
+		nt.transmit(from, to, m.Size(), func() {
+			st := c.st
+			st.results[c.idx] = m
+			st.pending--
+			if st.pending == 0 {
+				nt.eng.resumeProc(st.p)
+			}
+		})
+	})
+}
+
+// Forward hands the call to another node with a new request message (e.g. a
+// home node forwarding an ownership request to the current owner). The next
+// handler sees `from` = the forwarding node. The eventual Reply goes
+// directly to the original caller.
+func (c *Call) Forward(to int, m Msg) { c.ForwardAfter(0, to, m) }
+
+// ForwardAfter forwards after a modelled processing cost.
+func (c *Call) ForwardAfter(d Time, to int, m Msg) {
+	from := c.cur
+	c.net.eng.After(d, func() {
+		c.net.deliver(c, from, to, m)
+	})
+}

@@ -1,0 +1,240 @@
+// Package sim provides a deterministic discrete-event simulator used as the
+// cluster substrate for the DSM protocols: virtual time, one application
+// process (coroutine) per node, and an event queue executed in (time, seq)
+// order on a single engine goroutine.
+//
+// The engine and the process goroutines hand control back and forth over
+// channels so that exactly one of them runs at any moment; all protocol
+// state can therefore be mutated without locks, exactly like a single
+// threaded simulation, while application code is still written in plain
+// blocking style.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts virtual time to a time.Duration for reporting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// Seconds reports the time in (floating point) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. Create one with NewEngine,
+// spawn processes with Spawn, then call Run, which returns when every
+// process has finished (or an error on deadlock or process panic).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan struct{}
+	procs  []*Proc
+	live   int
+	err    error
+
+	// MaxEvents guards against runaway protocols; 0 means no limit.
+	MaxEvents uint64
+	executed  uint64
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time. Valid during Run (from event
+// handlers and process code).
+func (e *Engine) Now() Time { return e.now }
+
+// After schedules fn to run at Now()+d. It may be called from event
+// handlers and from process code; both run with the engine otherwise
+// quiescent, so no locking is needed.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Fail aborts the simulation with err at the end of the current event.
+func (e *Engine) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Proc is a simulated process: a goroutine whose execution interleaves with
+// the event queue under engine control. A Proc advances its own virtual
+// clock explicitly (Advance) and blocks in calls that other events complete.
+type Proc struct {
+	eng  *Engine
+	id   int
+	name string
+
+	resume    chan struct{}
+	done      bool
+	blockedOn string
+}
+
+// ID returns the process's index in spawn order (the node id).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the process-local virtual time, which equals the engine time
+// whenever the process is running.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn registers a new process whose body is fn. The body starts at
+// virtual time Now() when Run executes the start event.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, id: len(e.procs), name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.Fail(fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack()))
+			}
+			p.done = true
+			e.live--
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.After(0, func() { e.resumeProc(p) })
+	return p
+}
+
+// resumeProc hands control to p and waits until it parks again (or
+// finishes). Must only be called from the engine goroutine (i.e. from
+// within an event function).
+func (e *Engine) resumeProc(p *Proc) {
+	if p.done {
+		panic("sim: resuming finished proc " + p.name)
+	}
+	p.blockedOn = ""
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// park suspends the calling process until another event resumes it.
+func (p *Proc) park(reason string) {
+	p.blockedOn = reason
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// Advance moves the process's virtual clock forward by d, modelling local
+// computation. Other events (message deliveries, other processes) run in
+// the meantime.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	if d == 0 {
+		return
+	}
+	e := p.eng
+	e.After(d, func() { e.resumeProc(p) })
+	p.park("advance")
+}
+
+// Block parks the process with a diagnostic reason until some other event
+// calls Unblock. Protocol layers build blocking primitives from this.
+func (p *Proc) Block(reason string) { p.park(reason) }
+
+// Unblock resumes a process parked with Block (or any parked process). It
+// must be called from an event function or another running process.
+func (p *Proc) Unblock() { p.eng.resumeProc(p) }
+
+// Run executes events until all processes have finished. It returns an
+// error if a process panicked, if the event limit is exceeded, or if the
+// system deadlocks (live processes but no pending events).
+func (e *Engine) Run() error {
+	for e.live > 0 {
+		if e.err != nil {
+			return e.err
+		}
+		if e.events.Len() == 0 {
+			return e.deadlock()
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.MaxEvents, e.now)
+		}
+		ev.fn()
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return nil
+}
+
+func (e *Engine) deadlock() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if !p.done {
+			blocked = append(blocked, fmt.Sprintf("%s(blocked on %s)", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(blocked)
+	return fmt.Errorf("sim: deadlock at t=%v: %d live procs, no events: %v", e.now, len(blocked), blocked)
+}
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdvanceAccumulatesTime(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(5 * Millisecond)
+		p.Advance(3 * Millisecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 8*Millisecond {
+		t.Fatalf("end = %v, want 8ms", end)
+	}
+}
+
+func TestZeroAdvanceIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		before := p.Now()
+		p.Advance(0)
+		if p.Now() != before {
+			t.Errorf("zero advance moved time")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var order []int
+		e.Spawn("driver", func(p *Proc) {
+			// Schedule several events at identical times; seq order must win.
+			for i := 0; i < 5; i++ {
+				i := i
+				e.After(Millisecond, func() { order = append(order, i) })
+			}
+			p.Advance(2 * Millisecond)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("missing events: %v %v", a, b)
+	}
+	for i := range a {
+		if a[i] != i || b[i] != i {
+			t.Fatalf("nondeterministic order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestInterleavingTwoProcs(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		p.Advance(1 * Millisecond)
+		trace = append(trace, "a1")
+		p.Advance(2 * Millisecond)
+		trace = append(trace, "a3")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Advance(2 * Millisecond)
+		trace = append(trace, "b2")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1,b2,a3"
+	if got := strings.Join(trace, ","); got != want {
+		t.Fatalf("trace = %s, want %s", got, want)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", func(p *Proc) {
+		p.Block("forever")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "forever") {
+		t.Fatalf("deadlock error should name the block reason: %v", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Advance(Millisecond)
+		panic("kaboom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	e.Spawn("spin", func(p *Proc) {
+		for {
+			p.Advance(Millisecond)
+		}
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "event limit") {
+		t.Fatalf("expected event limit error, got %v", err)
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	var waiter *Proc
+	waiter = e.Spawn("waiter", func(p *Proc) {
+		p.Block("signal")
+		woke = p.Now()
+	})
+	e.Spawn("signaller", func(p *Proc) {
+		p.Advance(7 * Millisecond)
+		e.After(0, func() { waiter.Unblock() })
+		p.Advance(Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 7*Millisecond {
+		t.Fatalf("woke at %v, want 7ms", woke)
+	}
+}
+
+func TestTimeStringAndSeconds(t *testing.T) {
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Fatalf("Seconds conversion wrong")
+	}
+	if (2 * Millisecond).Duration().Milliseconds() != 2 {
+		t.Fatalf("Duration conversion wrong")
+	}
+}

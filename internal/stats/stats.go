@@ -1,0 +1,117 @@
+// Package stats collects per-node protocol counters and memory accounting
+// used to reproduce the paper's Tables 3 and 4 and Figure 3.
+package stats
+
+// Node holds the counters for one DSM node.
+type Node struct {
+	// Faults and fetches.
+	ReadFaults  int64
+	WriteFaults int64
+	PageFetches int64 // whole-page transfers received
+
+	// Ownership protocol (SW and adaptive).
+	OwnReqs     int64 // ownership requests issued (Table 4 "Owner" column)
+	OwnGrants   int64 // grants issued by this node
+	OwnRefusals int64 // refusals issued by this node (WW false sharing detected)
+	Forwards    int64 // request forwarding hops performed by this node
+
+	// Twins and diffs.
+	TwinsCreated int64
+	DiffsCreated int64
+	DiffsApplied int64
+	DiffsStored  int64 // diffs held (created + received copies)
+
+	// Memory accounting (Table 3). Cum* counts bytes ever allocated for
+	// twins/diffs on this node; Live* tracks the current pool so garbage
+	// collection can trigger; MaxLiveBytes is the high-water mark.
+	CumTwinBytes  int64
+	CumDiffBytes  int64
+	LiveTwinBytes int64
+	LiveDiffBytes int64
+	MaxLiveBytes  int64
+
+	// Synchronization.
+	LockAcquires int64
+	Barriers     int64
+
+	// Adaptation events.
+	SWtoMW int64
+	MWtoSW int64
+}
+
+// NoteLive updates the high-water mark after a change to the live pools.
+func (s *Node) NoteLive() {
+	if l := s.LiveTwinBytes + s.LiveDiffBytes; l > s.MaxLiveBytes {
+		s.MaxLiveBytes = l
+	}
+}
+
+// Add accumulates o into s (used to aggregate per-node stats).
+func (s *Node) Add(o *Node) {
+	s.ReadFaults += o.ReadFaults
+	s.WriteFaults += o.WriteFaults
+	s.PageFetches += o.PageFetches
+	s.OwnReqs += o.OwnReqs
+	s.OwnGrants += o.OwnGrants
+	s.OwnRefusals += o.OwnRefusals
+	s.Forwards += o.Forwards
+	s.TwinsCreated += o.TwinsCreated
+	s.DiffsCreated += o.DiffsCreated
+	s.DiffsApplied += o.DiffsApplied
+	s.DiffsStored += o.DiffsStored
+	s.CumTwinBytes += o.CumTwinBytes
+	s.CumDiffBytes += o.CumDiffBytes
+	s.LiveTwinBytes += o.LiveTwinBytes
+	s.LiveDiffBytes += o.LiveDiffBytes
+	s.MaxLiveBytes += o.MaxLiveBytes
+	s.LockAcquires += o.LockAcquires
+	s.Barriers += o.Barriers
+	s.SWtoMW += o.SWtoMW
+	s.MWtoSW += o.MWtoSW
+}
+
+// Sum aggregates a slice of per-node stats into one total.
+func Sum(nodes []*Node) Node {
+	var t Node
+	for _, n := range nodes {
+		t.Add(n)
+	}
+	return t
+}
+
+// Point is one sample of a time series (virtual time in nanoseconds).
+type Point struct {
+	T int64
+	V int64
+}
+
+// Series is an append-only time series, used for the Figure 3 diff-count
+// timeline.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a sample.
+func (s *Series) Append(t, v int64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Max returns the maximum value in the series (0 when empty).
+func (s *Series) Max() int64 {
+	var m int64
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Last returns the final value in the series (0 when empty).
+func (s *Series) Last() int64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}

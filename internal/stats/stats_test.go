@@ -1,0 +1,50 @@
+package stats
+
+import "testing"
+
+func TestNoteLiveHighWater(t *testing.T) {
+	var s Node
+	s.LiveTwinBytes = 100
+	s.NoteLive()
+	s.LiveDiffBytes = 50
+	s.NoteLive()
+	if s.MaxLiveBytes != 150 {
+		t.Fatalf("MaxLiveBytes = %d, want 150", s.MaxLiveBytes)
+	}
+	s.LiveTwinBytes = 0
+	s.NoteLive()
+	if s.MaxLiveBytes != 150 {
+		t.Fatalf("high-water mark must not regress: %d", s.MaxLiveBytes)
+	}
+}
+
+func TestAddAndSum(t *testing.T) {
+	a := &Node{ReadFaults: 1, TwinsCreated: 2, CumDiffBytes: 10, Barriers: 3}
+	b := &Node{ReadFaults: 4, TwinsCreated: 5, CumDiffBytes: 20, Barriers: 6}
+	tot := Sum([]*Node{a, b})
+	if tot.ReadFaults != 5 || tot.TwinsCreated != 7 || tot.CumDiffBytes != 30 || tot.Barriers != 9 {
+		t.Fatalf("bad sum: %+v", tot)
+	}
+	if a.ReadFaults != 1 {
+		t.Fatalf("Sum must not mutate inputs")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Last() != 0 {
+		t.Fatalf("empty series should report zeros")
+	}
+	s.Append(1, 10)
+	s.Append(2, 30)
+	s.Append(3, 20)
+	if s.Max() != 30 {
+		t.Fatalf("Max = %d", s.Max())
+	}
+	if s.Last() != 20 {
+		t.Fatalf("Last = %d", s.Last())
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("Points = %d", len(s.Points))
+	}
+}

@@ -1,0 +1,82 @@
+// Package vc implements vector timestamps representing the
+// happened-before-1 partial order used by lazy release consistency
+// (Keleher et al., ISCA 1992): the union of per-processor program order and
+// release-acquire pairs.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector timestamp: VC[i] counts intervals of processor i.
+type VC []int32
+
+// New returns a zero vector timestamp for n processors.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Leq reports whether v happened before or equals o (pointwise <=).
+func (v VC) Leq(o VC) bool {
+	for i := range v {
+		if v[i] > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports whether v strictly happened before o: v <= o and v != o.
+func (v VC) Before(o VC) bool { return v.Leq(o) && !o.Leq(v) }
+
+// Equal reports pointwise equality.
+func (v VC) Equal(o VC) bool { return v.Leq(o) && o.Leq(v) }
+
+// Concurrent reports whether v and o are incomparable under
+// happened-before-1 (neither precedes the other).
+func (v VC) Concurrent(o VC) bool { return !v.Leq(o) && !o.Leq(v) }
+
+// Join sets v to the pointwise maximum of v and o.
+func (v VC) Join(o VC) {
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// Tick increments processor i's component and returns the new value.
+func (v VC) Tick(i int) int32 {
+	v[i]++
+	return v[i]
+}
+
+// Sum returns the total number of intervals covered (useful as a coarse
+// progress metric and for deterministic tie-breaking).
+func (v VC) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
+// String renders the vector compactly for traces, e.g. "<1 0 3>".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOrder(t *testing.T) {
+	a := VC{1, 0, 0}
+	b := VC{1, 1, 0}
+	if !a.Leq(b) || !a.Before(b) {
+		t.Fatalf("a should precede b")
+	}
+	if b.Leq(a) {
+		t.Fatalf("b must not precede a")
+	}
+	if a.Concurrent(b) {
+		t.Fatalf("ordered vectors are not concurrent")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := VC{2, 0}
+	b := VC{0, 2}
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Fatalf("expected concurrency")
+	}
+	if a.Before(b) || b.Before(a) {
+		t.Fatalf("concurrent vectors must not be ordered")
+	}
+}
+
+func TestEqualNotBefore(t *testing.T) {
+	a := VC{3, 1, 4}
+	b := a.Copy()
+	if !a.Equal(b) {
+		t.Fatalf("copies must be equal")
+	}
+	if a.Before(b) || a.Concurrent(b) {
+		t.Fatalf("equal vectors are neither before nor concurrent")
+	}
+}
+
+func TestJoinIsUpperBound(t *testing.T) {
+	a := VC{1, 5, 2}
+	b := VC{4, 0, 3}
+	j := a.Copy()
+	j.Join(b)
+	if !a.Leq(j) || !b.Leq(j) {
+		t.Fatalf("join %v is not an upper bound of %v,%v", j, a, b)
+	}
+	want := VC{4, 5, 3}
+	if !j.Equal(want) {
+		t.Fatalf("join = %v, want %v", j, want)
+	}
+}
+
+func TestTick(t *testing.T) {
+	v := New(3)
+	if got := v.Tick(1); got != 1 {
+		t.Fatalf("tick = %d, want 1", got)
+	}
+	if v.Sum() != 1 {
+		t.Fatalf("sum = %d", v.Sum())
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := VC{1, 2}
+	b := a.Copy()
+	b.Tick(0)
+	if a[0] != 1 {
+		t.Fatalf("copy aliases original")
+	}
+}
+
+func randVC(r *rand.Rand) VC {
+	v := New(4)
+	for i := range v {
+		v[i] = int32(r.Intn(5))
+	}
+	return v
+}
+
+// Property: Leq is a partial order (reflexive, antisymmetric, transitive).
+func TestQuickPartialOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	reflexive := func(seed int64) bool {
+		v := randVC(rand.New(rand.NewSource(seed)))
+		return v.Leq(v)
+	}
+	if err := quick.Check(reflexive, cfg); err != nil {
+		t.Error(err)
+	}
+	antisym := func(s1, s2 int64) bool {
+		a := randVC(rand.New(rand.NewSource(s1)))
+		b := randVC(rand.New(rand.NewSource(s2)))
+		if a.Leq(b) && b.Leq(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, cfg); err != nil {
+		t.Error(err)
+	}
+	transitive := func(s1, s2, s3 int64) bool {
+		a := randVC(rand.New(rand.NewSource(s1)))
+		b := randVC(rand.New(rand.NewSource(s2)))
+		c := randVC(rand.New(rand.NewSource(s3)))
+		if a.Leq(b) && b.Leq(c) {
+			return a.Leq(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join is commutative, associative, idempotent, and a least upper
+// bound with respect to Leq.
+func TestQuickJoinLattice(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	comm := func(s1, s2 int64) bool {
+		a := randVC(rand.New(rand.NewSource(s1)))
+		b := randVC(rand.New(rand.NewSource(s2)))
+		x := a.Copy()
+		x.Join(b)
+		y := b.Copy()
+		y.Join(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Error(err)
+	}
+	idem := func(s int64) bool {
+		a := randVC(rand.New(rand.NewSource(s)))
+		x := a.Copy()
+		x.Join(a)
+		return x.Equal(a)
+	}
+	if err := quick.Check(idem, cfg); err != nil {
+		t.Error(err)
+	}
+	lub := func(s1, s2, s3 int64) bool {
+		a := randVC(rand.New(rand.NewSource(s1)))
+		b := randVC(rand.New(rand.NewSource(s2)))
+		c := randVC(rand.New(rand.NewSource(s3)))
+		// any upper bound c of a,b dominates join(a,b)
+		if a.Leq(c) && b.Leq(c) {
+			j := a.Copy()
+			j.Join(b)
+			return j.Leq(c)
+		}
+		return true
+	}
+	if err := quick.Check(lub, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exactly one of Before(a,b), Before(b,a), Concurrent, Equal.
+func TestQuickTrichotomy(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randVC(rand.New(rand.NewSource(s1)))
+		b := randVC(rand.New(rand.NewSource(s2)))
+		n := 0
+		if a.Before(b) {
+			n++
+		}
+		if b.Before(a) {
+			n++
+		}
+		if a.Concurrent(b) {
+			n++
+		}
+		if a.Equal(b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 3}).String(); got != "<1 0 3>" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,144 @@
+package adsm
+
+import (
+	"math"
+	"time"
+
+	"adsm/internal/core"
+	"adsm/internal/sim"
+)
+
+// Worker is one processor's handle onto the DSM: shared-memory accessors,
+// synchronization, and a virtual clock. All accesses go through the
+// coherence protocol — a read or write may fault and trigger page or diff
+// traffic exactly as the paper describes.
+type Worker struct {
+	n *core.Node
+}
+
+// ID returns this processor's id (0..Procs-1).
+func (w *Worker) ID() int { return w.n.ID() }
+
+// Procs returns the cluster size.
+func (w *Worker) Procs() int { return w.n.Procs() }
+
+// Now returns this processor's virtual time since the run started.
+func (w *Worker) Now() time.Duration { return w.n.Proc().Now().Duration() }
+
+// Compute models local computation taking d of virtual time. Use it to
+// charge the cost of work done on private data.
+func (w *Worker) Compute(d time.Duration) { w.n.Compute(sim.Time(d)) }
+
+// Lock acquires the named lock, pulling in the write notices of all
+// preceding intervals (lazy release consistency).
+func (w *Worker) Lock(id int) { w.n.Acquire(id) }
+
+// Unlock releases the named lock.
+func (w *Worker) Unlock(id int) { w.n.Release(id) }
+
+// Barrier waits for all processors and makes all prior writes visible.
+func (w *Worker) Barrier() { w.n.Barrier() }
+
+// ReadU32 reads the 32-bit word at addr.
+func (w *Worker) ReadU32(addr Addr) uint32 { return w.n.ReadU32(addr) }
+
+// WriteU32 writes the 32-bit word at addr.
+func (w *Worker) WriteU32(addr Addr, v uint32) { w.n.WriteU32(addr, v) }
+
+// ReadU64 reads the 64-bit word at addr.
+func (w *Worker) ReadU64(addr Addr) uint64 { return w.n.ReadU64(addr) }
+
+// WriteU64 writes the 64-bit word at addr.
+func (w *Worker) WriteU64(addr Addr, v uint64) { w.n.WriteU64(addr, v) }
+
+// ReadI64 reads the signed 64-bit word at addr.
+func (w *Worker) ReadI64(addr Addr) int64 { return int64(w.n.ReadU64(addr)) }
+
+// WriteI64 writes the signed 64-bit word at addr.
+func (w *Worker) WriteI64(addr Addr, v int64) { w.n.WriteU64(addr, uint64(v)) }
+
+// ReadF64 reads the float64 at addr.
+func (w *Worker) ReadF64(addr Addr) float64 {
+	return math.Float64frombits(w.n.ReadU64(addr))
+}
+
+// WriteF64 writes the float64 at addr.
+func (w *Worker) WriteF64(addr Addr, v float64) {
+	w.n.WriteU64(addr, math.Float64bits(v))
+}
+
+// F64Slice views shared memory as a []float64 starting at base.
+type F64Slice struct {
+	w    *Worker
+	base Addr
+	len  int
+}
+
+// F64 creates a float64 view of n elements at base.
+func (w *Worker) F64(base Addr, n int) F64Slice { return F64Slice{w: w, base: base, len: n} }
+
+// Len returns the element count.
+func (s F64Slice) Len() int { return s.len }
+
+// Addr returns the address of element i.
+func (s F64Slice) Addr(i int) Addr { return s.base + 8*i }
+
+// At reads element i.
+func (s F64Slice) At(i int) float64 {
+	s.check(i)
+	return s.w.ReadF64(s.base + 8*i)
+}
+
+// Set writes element i.
+func (s F64Slice) Set(i int, v float64) {
+	s.check(i)
+	s.w.WriteF64(s.base+8*i, v)
+}
+
+func (s F64Slice) check(i int) {
+	if i < 0 || i >= s.len {
+		panic("adsm: F64Slice index out of range")
+	}
+}
+
+// I64Slice views shared memory as a []int64 starting at base.
+type I64Slice struct {
+	w    *Worker
+	base Addr
+	len  int
+}
+
+// I64 creates an int64 view of n elements at base.
+func (w *Worker) I64(base Addr, n int) I64Slice { return I64Slice{w: w, base: base, len: n} }
+
+// Len returns the element count.
+func (s I64Slice) Len() int { return s.len }
+
+// Addr returns the address of element i.
+func (s I64Slice) Addr(i int) Addr { return s.base + 8*i }
+
+// At reads element i.
+func (s I64Slice) At(i int) int64 {
+	s.check(i)
+	return s.w.ReadI64(s.base + 8*i)
+}
+
+// Set writes element i.
+func (s I64Slice) Set(i int, v int64) {
+	s.check(i)
+	s.w.WriteI64(s.base+8*i, v)
+}
+
+// Add adds d to element i and returns the new value (not atomic: guard
+// with a lock when multiple writers are possible).
+func (s I64Slice) Add(i int, d int64) int64 {
+	v := s.At(i) + d
+	s.Set(i, v)
+	return v
+}
+
+func (s I64Slice) check(i int) {
+	if i < 0 || i >= s.len {
+		panic("adsm: I64Slice index out of range")
+	}
+}
