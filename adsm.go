@@ -44,7 +44,8 @@ import (
 // PageSize is the coherence unit (4096 bytes, as in the paper).
 const PageSize = mem.PageSize
 
-// Protocol selects the coherence protocol for a cluster.
+// Protocol selects the coherence protocol for a cluster. Values are ids
+// into the protocol registry; the built-in constants are stable.
 type Protocol int
 
 const (
@@ -58,25 +59,62 @@ const (
 	WFSWG
 )
 
-// Protocols lists all four protocols in the paper's presentation order
-// (Figure 2: MW, WFS+WG, WFS, SW).
-var Protocols = []Protocol{MW, WFSWG, WFS, SW}
+// HLRC is home-based lazy release consistency: writers eagerly flush their
+// diffs to a static per-page home at every release, and faulting nodes
+// fetch the whole page from the home — no diff accumulation, no garbage
+// collection. It is registered through RegisterProtocol, as a template for
+// further plug-in protocols.
+var HLRC = MustRegisterProtocol(ProtocolSpec{
+	Name:        "HLRC",
+	Description: "home-based LRC: eager diff flush to static per-page homes",
+	New:         core.NewHLRCPolicy,
+})
+
+// ProtocolSpec describes a protocol implementation for RegisterProtocol.
+// Implementations live in internal/core (they plug into the engine's
+// Policy seam); the spec binds one to a name, aliases, and a description.
+type ProtocolSpec = core.Spec
+
+// RegisterProtocol adds a protocol to the registry, making it selectable
+// by Config.Protocol, ParseProtocol, the harness matrix, and the CLI
+// flags. It fails if the spec is incomplete or a name is already taken.
+func RegisterProtocol(s ProtocolSpec) (Protocol, error) {
+	id, err := core.Register(s)
+	return Protocol(id), err
+}
+
+// MustRegisterProtocol is RegisterProtocol, panicking on error.
+func MustRegisterProtocol(s ProtocolSpec) Protocol {
+	return Protocol(core.MustRegister(s))
+}
+
+// ParseProtocol resolves a protocol name — canonical or alias, case-
+// insensitive — such as "MW", "wfs+wg" or "HLRC".
+func ParseProtocol(name string) (Protocol, error) {
+	id, err := core.ParseProtocol(name)
+	return Protocol(id), err
+}
+
+// Protocols lists every registered protocol in registration order (the
+// paper's four, then HLRC, then any later registrations).
+func Protocols() []Protocol {
+	ids := core.RegisteredProtocols()
+	out := make([]Protocol, len(ids))
+	for i, id := range ids {
+		out[i] = Protocol(id)
+	}
+	return out
+}
+
+// ProtocolNames lists the canonical names of every registered protocol.
+func ProtocolNames() []string { return core.ProtocolNames() }
 
 func (p Protocol) String() string { return p.core().String() }
 
-func (p Protocol) core() core.Protocol {
-	switch p {
-	case MW:
-		return core.MW
-	case SW:
-		return core.SW
-	case WFS:
-		return core.WFS
-	case WFSWG:
-		return core.WFSWG
-	}
-	panic(fmt.Sprintf("adsm: unknown protocol %d", int(p)))
-}
+// Description returns the protocol's one-line summary.
+func (p Protocol) Description() string { return p.core().Description() }
+
+func (p Protocol) core() core.Protocol { return core.Protocol(p) }
 
 // Config describes a cluster. Zero values select the paper's defaults.
 type Config struct {

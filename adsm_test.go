@@ -8,7 +8,7 @@ import (
 )
 
 func TestQuickstartCounter(t *testing.T) {
-	for _, proto := range adsm.Protocols {
+	for _, proto := range adsm.Protocols() {
 		t.Run(proto.String(), func(t *testing.T) {
 			cl := adsm.NewCluster(adsm.Config{Procs: 4, Protocol: proto})
 			ctr := cl.Alloc(8)

@@ -70,7 +70,7 @@ func BenchmarkTable2Characteristics(b *testing.B) {
 func BenchmarkFigure2Speedup(b *testing.B) {
 	m := matrix(b)
 	for _, name := range harness.AppNames() {
-		for _, proto := range adsm.Protocols {
+		for _, proto := range adsm.Protocols() {
 			b.Run(name+"/"+proto.String(), func(b *testing.B) {
 				var s float64
 				for i := 0; i < b.N; i++ {
@@ -105,7 +105,7 @@ func BenchmarkTable3Memory(b *testing.B) {
 func BenchmarkTable4Communication(b *testing.B) {
 	m := matrix(b)
 	for _, name := range harness.AppNames() {
-		for _, proto := range adsm.Protocols {
+		for _, proto := range adsm.Protocols() {
 			b.Run(name+"/"+proto.String(), func(b *testing.B) {
 				var rep *adsm.Report
 				for i := 0; i < b.N; i++ {

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	dsmrun [-app SOR] [-protocol WFS] [-procs 8] [-quick]
+//	dsmrun [-app SOR] [-protocol WFS] [-procs 8] [-quick] [-protocols]
+//
+// Any protocol registered with adsm.RegisterProtocol (e.g. HLRC) is
+// selectable by name; -protocols lists them.
 package main
 
 import (
@@ -17,28 +20,23 @@ import (
 	"adsm/internal/apps"
 )
 
-func protocolFromName(s string) (adsm.Protocol, error) {
-	switch strings.ToUpper(s) {
-	case "MW":
-		return adsm.MW, nil
-	case "SW":
-		return adsm.SW, nil
-	case "WFS":
-		return adsm.WFS, nil
-	case "WFSWG", "WFS+WG":
-		return adsm.WFSWG, nil
-	}
-	return 0, fmt.Errorf("unknown protocol %q (MW, SW, WFS, WFS+WG)", s)
-}
-
 func main() {
 	appName := flag.String("app", "SOR", "application (SOR, IS, TSP, Water, 3D-FFT, Shallow, Barnes, ILINK)")
-	protoName := flag.String("protocol", "WFS", "protocol (MW, SW, WFS, WFS+WG)")
+	protoName := flag.String("protocol", "WFS",
+		"protocol ("+strings.Join(adsm.ProtocolNames(), ", ")+")")
 	procs := flag.Int("procs", 8, "number of processors")
 	quick := flag.Bool("quick", false, "use reduced inputs")
+	list := flag.Bool("protocols", false, "list the registered protocols and exit")
 	flag.Parse()
 
-	proto, err := protocolFromName(*protoName)
+	if *list {
+		for _, p := range adsm.Protocols() {
+			fmt.Printf("%-8s %s\n", p, p.Description())
+		}
+		return
+	}
+
+	proto, err := adsm.ParseProtocol(*protoName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(2)

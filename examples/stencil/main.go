@@ -20,7 +20,7 @@ const (
 func main() {
 	fmt.Printf("%-8s %12s %10s %10s %8s\n", "protocol", "virtual time", "messages", "data MB", "twins")
 	var base time.Duration
-	for _, proto := range adsm.Protocols {
+	for _, proto := range adsm.Protocols() {
 		cl := adsm.NewCluster(adsm.Config{Procs: 8, Protocol: proto})
 		grid := cl.AllocPageAligned(rows * cols * 8)
 		at := func(i, j int) adsm.Addr { return grid + 8*(i*cols+j) }

@@ -1,0 +1,3 @@
+module adsm
+
+go 1.24

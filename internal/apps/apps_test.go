@@ -29,7 +29,7 @@ func TestAllAppsMatchSequential(t *testing.T) {
 			if seq == 0 {
 				t.Fatalf("sequential checksum is zero — app not computing anything?")
 			}
-			for _, proto := range adsm.Protocols {
+			for _, proto := range adsm.Protocols() {
 				got, rep := runQuick(t, entry.New, 4, proto)
 				tol := math.Abs(seq) * 1e-9
 				if entry.Name == "Water" {

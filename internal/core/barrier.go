@@ -40,44 +40,16 @@ func (n *Node) barrierRound(gcRound bool) {
 		Epoch:       n.c.bar.epoch,
 		KnownTS:     append([]int32(nil), n.knownTS...),
 		Intervals:   mine,
-		MemPressure: !gcRound && n.memPressure(),
+		MemPressure: !gcRound && n.c.policy.MemPressure(n),
 		nprocs:      n.c.params.Procs,
 	}).(barRelease)
 	n.ingestIntervals(resp.Intervals)
 	n.vclock.Join(resp.Global)
 	copy(n.lastGlobal, resp.Global)
-	n.barrierModeScan()
+	// Mechanism 3 of Section 3.1.2 lives in the adaptive policies.
+	n.c.policy.OnBarrierRelease(n)
 	if resp.GC {
 		n.runGC(resp.Hints)
-	}
-}
-
-// barrierModeScan implements mechanism 3 of Section 3.1.2: at a barrier
-// every node is up to date with all modifications, so a write notice that
-// dominates all other write notices for a page means write-write false
-// sharing has stopped and the page can return to SW mode.
-func (n *Node) barrierModeScan() {
-	if !n.c.params.Protocol.Adaptive() {
-		return
-	}
-	for pg := 0; pg < n.c.usedPages(); pg++ {
-		ps := n.pages[pg]
-		if ps.mode != modeMW || ps.owner || ps.wasLast || len(ps.pending) == 0 {
-			continue
-		}
-		dom := dominatingWN(ps.pending)
-		if dom == nil {
-			continue
-		}
-		if mine := ps.myLastWN; mine != nil && mine.Int.Proc == n.id &&
-			!mine.Int.VC.Leq(dom.Int.VC) {
-			// Our own write is not dominated: sharing has not stopped.
-			continue
-		}
-		if n.wgAllowsSW(ps) {
-			n.setMode(ps, modeSW)
-			ps.seesFS = false
-		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 // then Run the SPMD program.
 type Cluster struct {
 	params Params
+	policy Policy
 	eng    *sim.Engine
 	net    *sim.Net
 	nodes  []*Node
@@ -43,6 +44,7 @@ func New(p Params) *Cluster {
 	npages := (p.MaxSharedBytes + mem.PageSize - 1) / mem.PageSize
 	c := &Cluster{
 		params:   p,
+		policy:   p.Protocol.newPolicy(),
 		eng:      sim.NewEngine(),
 		net:      nil,
 		npages:   npages,
@@ -81,7 +83,8 @@ func (c *Cluster) Detector() *Detector { return c.detector }
 // GCRuns reports how many garbage collections ran.
 func (c *Cluster) GCRuns() int64 { return c.gcRuns }
 
-// homeOf returns the static home of a page (pure SW protocol).
+// homeOf returns the static home of a page (the home-based protocols: pure
+// SW request routing and HLRC diff flushing).
 func (c *Cluster) homeOf(pg int) int { return pg % c.params.Procs }
 
 // usedPages returns the number of pages covered by allocations.
@@ -145,6 +148,8 @@ func (n *Node) handle(call *sim.Call, from int, m sim.Msg) {
 		n.serveOwnership(call, from, msg)
 	case swOwnReq:
 		n.serveSWOwn(call, from, msg)
+	case hlrcFlush:
+		n.serveHLRCFlush(call, from, msg)
 	case acqReq:
 		n.serveAcqReq(call, from, msg)
 	case acqFwd:

@@ -21,9 +21,12 @@ import (
 	"adsm/internal/sim"
 )
 
-// Protocol selects which DSM protocol a cluster runs.
+// Protocol identifies a registered DSM protocol (an index into the
+// protocol registry; see registry.go).
 type Protocol int
 
+// The paper's four protocols, registered by this package's init in this
+// order so the ids are stable.
 const (
 	// MW is the TreadMarks multiple-writer protocol.
 	MW Protocol = iota
@@ -34,23 +37,6 @@ const (
 	// WFSWG adapts based on false sharing and write granularity.
 	WFSWG
 )
-
-func (p Protocol) String() string {
-	switch p {
-	case MW:
-		return "MW"
-	case SW:
-		return "SW"
-	case WFS:
-		return "WFS"
-	case WFSWG:
-		return "WFS+WG"
-	}
-	return "?"
-}
-
-// Adaptive reports whether the protocol switches modes per page.
-func (p Protocol) Adaptive() bool { return p == WFS || p == WFSWG }
 
 // Params configures a cluster. The defaults reproduce the paper's
 // experimental environment (Section 4).

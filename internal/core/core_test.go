@@ -8,7 +8,9 @@ import (
 	"adsm/internal/sim"
 )
 
-var allProtocols = []Protocol{MW, SW, WFS, WFSWG}
+// allProtocols covers the four builtins plus HLRC (registered by
+// hlrc_test.go), so every generic coherence test gauntlets all five.
+var allProtocols = []Protocol{MW, SW, WFS, WFSWG, hlrcProto}
 
 func testParams(procs int, proto Protocol) Params {
 	p := DefaultParams(procs)

@@ -38,7 +38,7 @@ func (c *Cluster) computeGCHints() []gcHint {
 		}
 		keeper := -1
 		version := int32(0)
-		if c.params.Protocol.Adaptive() || c.params.Protocol == SW {
+		if c.policy.GCKeeperIsOwner() {
 			for _, n := range c.nodes {
 				ps := n.pages[pg]
 				if ps.owner || ps.wasLast {
@@ -72,7 +72,7 @@ func (c *Cluster) computeGCHints() []gcHint {
 // validation (or nothing, for nodes that will drop), a mini-barrier, then
 // the drop phase.
 func (n *Node) runGC(hints []gcHint) {
-	adaptive := n.c.params.Protocol.Adaptive()
+	adaptive := n.c.policy.GCCollapseToSW()
 
 	// Phase 1: validation. In MW every writer validates its copy; in the
 	// adaptive protocols only the keeper (last owner) does.

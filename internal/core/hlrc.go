@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"adsm/internal/mem"
+	"adsm/internal/sim"
+)
+
+// HLRC: home-based lazy release consistency (after Zhou, Iftode & Li,
+// "Performance Evaluation of Two Home-Based Lazy Release Consistency
+// Protocols for Shared Virtual Memory Systems", OSDI 1996). Every page has
+// a static home (pg % procs). Writers twin and diff exactly like MW, but
+// at every interval close the diffs are created eagerly and flushed to the
+// homes — the flush completes before the release-class event proceeds, so
+// by the time any node learns a write notice, the home copy already
+// reflects it. A faulting node therefore never collects diffs: it fetches
+// the whole page from the home. Diffs are retired the moment the home has
+// applied them, so HLRC accumulates no twin/diff pool and never needs the
+// barrier-time garbage collection of the other protocols.
+
+// NewHLRCPolicy builds the HLRC policy. It is exported (rather than
+// registered in this package's init) so the public adsm package can
+// register it through the protocol registry — the template for adding
+// further protocols.
+func NewHLRCPolicy() Policy { return hlrcPolicy{} }
+
+type hlrcPolicy struct{ basePolicy }
+
+// InitPage: pages start in MW mode (twins and diffs for write detection)
+// with the initial zeroed copy living at the static home.
+func (hlrcPolicy) InitPage(c *Cluster, id, pg int, ps *pageState) {
+	ps.mode = modeMW
+	ps.perceivedOwner = c.homeOf(pg)
+	if id == c.homeOf(pg) {
+		ps.data = mem.NewPage()
+		ps.status = pageReadOnly
+	}
+}
+
+// WriteFault is the MW path: validate (a home fetch under this policy),
+// then twin.
+func (hlrcPolicy) WriteFault(n *Node, pg int, ps *pageState) { n.stayMW(pg, ps) }
+
+// MakeValid fetches the home copy. The home's applied vector is guaranteed
+// to dominate every write notice this node has received for the page: the
+// writer's flush completed before the release that published the notice,
+// and notices only travel along release→acquire chains. The loop re-checks
+// because new notices can be ingested while the fetch RPC is in flight.
+func (hlrcPolicy) MakeValid(n *Node, pg int, ps *pageState) {
+	for round := 0; ; round++ {
+		if round > 1000 {
+			panic(fmt.Sprintf("dsm: node %d cannot settle hlrc page %d", n.id, pg))
+		}
+		if debugValidate != nil {
+			debugValidate(n, pg, ps, "enter")
+		}
+		// Discard notices already reflected in our copy.
+		keep := ps.pending[:0]
+		for _, wn := range ps.pending {
+			if !wn.Int.VC.Leq(ps.applied) {
+				keep = append(keep, wn)
+			}
+		}
+		ps.pending = keep
+		if ps.data != nil && len(ps.pending) == 0 {
+			break
+		}
+		home := n.c.homeOf(pg)
+		if home == n.id {
+			msg := fmt.Sprintf("dsm: hlrc home %d has a stale copy of page %d (applied=%v)", n.id, pg, ps.applied)
+			for _, wn := range ps.pending {
+				msg += fmt.Sprintf("\n  pending wn proc=%d ts=%d owner=%v vc=%v", wn.Int.Proc, wn.Int.TS, wn.Owner, wn.Int.VC)
+			}
+			panic(msg)
+		}
+		n.fetchPage(pg, ps, home)
+	}
+	if ps.status == pageInvalid {
+		ps.status = pageReadOnly
+	}
+}
+
+// OnIntervalClose eagerly converts the interval's twins into diffs and
+// pushes them to each page's home, then retires them locally. Process
+// context: runs inside the release-class event, before its messages go
+// out, so the happened-before guarantee MakeValid relies on holds.
+func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval) {
+	perHome := make(map[int][]hlrcEntry)
+	var flushed []wnKey
+	for _, wn := range iv.WNs {
+		ps := n.pages[wn.Page]
+		if ps.undiffed != wn {
+			// Every HLRC write notice must be a fresh dirtyMW notice whose
+			// twin is about to be diffed; anything else (an owner-style
+			// notice, an already-diffed one) would be published to peers
+			// without its data ever reaching the home, which readers would
+			// only notice much later as an unsettleable page.
+			panic(fmt.Sprintf("dsm: hlrc node %d closed interval with unflushable notice for page %d", n.id, wn.Page))
+		}
+		d := n.makeDiff(wn.Page, ps)
+		n.proc.Advance(n.c.params.diffCost(d))
+		if home := n.c.homeOf(wn.Page); home != n.id {
+			perHome[home] = append(perHome[home], hlrcEntry{Page: wn.Page, Diff: d})
+		}
+		flushed = append(flushed, keyOf(wn))
+	}
+	if len(perHome) > 0 {
+		var targets []sim.Target
+		for p := 0; p < n.c.params.Procs; p++ {
+			if es, ok := perHome[p]; ok {
+				targets = append(targets, sim.Target{
+					To: p,
+					M:  hlrcFlush{VC: iv.VC, Entries: es},
+				})
+			}
+		}
+		n.c.net.Multicall(n.proc, targets)
+	}
+	// Every home has acknowledged: the diffs (and twins) are garbage.
+	for _, k := range flushed {
+		n.dropDiff(k)
+	}
+}
+
+// serveHLRCFlush applies a writer's flushed diffs to this home's copy
+// (handler context; the apply cost is charged as reply latency). Applying
+// to a live twin as well preserves this node's own write detection, like
+// applyDiffs does.
+func (n *Node) serveHLRCFlush(c *sim.Call, from int, m hlrcFlush) {
+	var cost sim.Time
+	for _, e := range m.Entries {
+		ps := n.pages[e.Page]
+		if ps.data == nil {
+			panic(fmt.Sprintf("dsm: hlrc home %d missing page %d", n.id, e.Page))
+		}
+		e.Diff.Apply(ps.data)
+		if ps.twin != nil {
+			e.Diff.Apply(ps.twin)
+		}
+		ps.applied.Join(m.VC)
+		n.Stats.DiffsApplied++
+		cost += n.c.params.applyCost(e.Diff)
+	}
+	c.ReplyAfter(cost, hlrcAck{})
+}
+
+// MemPressure: diffs are retired at every interval close and twins with
+// them, so the pool never accumulates and garbage collection is never
+// requested (homes must keep their copies, so the GC drop phase would be
+// wrong here anyway).
+func (hlrcPolicy) MemPressure(n *Node) bool { return false }
+
+// OnBarrierRelease truncates coherence metadata. With GC never running,
+// HLRC would otherwise accumulate interval and write-notice history for
+// the whole run (the other protocols reset theirs in runGC). After a
+// barrier release every node's knowledge dominates the global vector, so
+// any future intervalsSince call filters out intervals at or below it —
+// they can be dropped, along with the write notices they back.
+func (hlrcPolicy) OnBarrierRelease(n *Node) {
+	for p := range n.intervals {
+		ivs := n.intervals[p]
+		k := 0
+		for _, iv := range ivs {
+			if iv.TS > n.lastGlobal[iv.Proc] {
+				ivs[k] = iv
+				k++
+			}
+		}
+		n.intervals[p] = ivs[:k]
+	}
+	for pg := 0; pg < n.c.usedPages(); pg++ {
+		ps := n.pages[pg]
+		wns := ps.knownWNs
+		k := 0
+		for _, wn := range wns {
+			if wn.Int.TS > n.lastGlobal[wn.Int.Proc] {
+				wns[k] = wn
+				k++
+			}
+		}
+		ps.knownWNs = wns[:k]
+	}
+}

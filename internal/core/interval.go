@@ -117,6 +117,13 @@ func (n *Node) closeInterval() *Interval {
 	if len(iv.WNs) == 0 {
 		return nil
 	}
+	// Release-time policy work (e.g. HLRC's eager diff flush) runs BEFORE
+	// the interval is published into n.intervals: while the policy blocks
+	// on its RPCs, this node can serve lock grants in handler context, and
+	// a grant must not piggyback write notices whose diffs have not
+	// reached their homes yet. A grant served during the flush only needs
+	// intervals up to its release snapshot, so withholding iv is correct.
+	n.c.policy.OnIntervalClose(n, iv)
 	n.vclock[n.id] = ts
 	n.knownTS[n.id] = ts
 	n.intervals[n.id] = append(n.intervals[n.id], iv)
@@ -207,24 +214,8 @@ func (n *Node) noteOwnerWN(ps *pageState, wn *WriteNotice) {
 		ps.perceivedOwner = wn.Int.Proc
 		ps.perceivedVersion = wn.Version
 	}
-	if n.c.params.Protocol.Adaptive() && ps.mode == modeMW && !ps.owner && !ps.wasLast {
-		// Mechanism 2: no concurrent secondary write notice (including our
-		// own last write) means a single writer has re-emerged.
-		concurrent := false
-		for _, old := range ps.pending {
-			if old.Int.Proc != wn.Int.Proc && old.Int.VC.Concurrent(wn.Int.VC) {
-				concurrent = true
-				break
-			}
-		}
-		if mine := ps.myLastWN; mine != nil && mine.Int.Proc == n.id && mine.Int.VC.Concurrent(wn.Int.VC) {
-			concurrent = true
-		}
-		if !concurrent && n.wgAllowsSW(ps) {
-			n.setMode(ps, modeSW)
-			ps.seesFS = false
-		}
-	}
+	// Mechanism 2 of Section 3.1.2 lives in the adaptive policies.
+	n.c.policy.OnOwnerNotice(n, ps, wn)
 }
 
 // orderWNs returns the write notices in an order consistent with

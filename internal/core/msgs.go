@@ -116,6 +116,34 @@ type swOwnGrant struct {
 
 func (m swOwnGrant) Size() int { return 12 + len(m.Data) + 4*len(m.Applied) }
 
+// --- home flushes (HLRC) ---
+
+// hlrcFlush carries one closed interval's diffs from a writer to the home
+// of the written pages. VC is the interval's vector clock, joined into the
+// home's applied vector as each diff lands.
+type hlrcFlush struct {
+	VC      vc.VC
+	Entries []hlrcEntry
+}
+
+type hlrcEntry struct {
+	Page int
+	Diff *mem.Diff
+}
+
+func (m hlrcFlush) Size() int {
+	n := 8 + 4*len(m.VC)
+	for _, e := range m.Entries {
+		n += 8 + e.Diff.EncodedSize()
+	}
+	return n
+}
+
+// hlrcAck acknowledges a flush; the writer may retire its diffs.
+type hlrcAck struct{}
+
+func (hlrcAck) Size() int { return 8 }
+
 // --- locks ---
 
 // acqReq asks the lock's static manager for the lock. KnownTS is the

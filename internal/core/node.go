@@ -127,24 +127,13 @@ func newNode(c *Cluster, id int) *Node {
 		locks:        make(map[int]*nodeLock),
 		lastGlobal:   make([]int32, c.params.Procs),
 	}
-	initialMode := modeSW
-	if c.params.Protocol == MW {
-		initialMode = modeMW
-	}
 	for i := range n.pages {
 		ps := &pageState{
-			mode:           initialMode,
 			applied:        vc.New(c.params.Procs),
 			perceivedOwner: 0, // pages are allocated (and initially owned) by node 0
 			copysetFS:      nil,
 		}
-		if id == 0 {
-			ps.data = mem.NewPage()
-			ps.status = pageReadOnly
-			if c.params.Protocol != MW {
-				ps.owner = true
-			}
-		}
+		c.policy.InitPage(c, id, i, ps)
 		n.pages[i] = ps
 	}
 	return n
@@ -242,19 +231,7 @@ func (n *Node) writeFault(pg int) {
 		return
 	}
 
-	switch n.c.params.Protocol {
-	case MW:
-		n.writeFaultMW(pg, ps)
-	case SW:
-		n.writeFaultSW(pg, ps)
-	default:
-		n.writeFaultAdaptive(pg, ps)
-	}
-}
-
-// writeFaultMW is the TreadMarks path: validate, then twin.
-func (n *Node) writeFaultMW(pg int, ps *pageState) {
-	n.stayMW(pg, ps)
+	n.c.policy.WriteFault(n, pg, ps)
 }
 
 // makeTwin creates the pristine copy used for diffing; if a previous
@@ -344,17 +321,18 @@ func (n *Node) setMode(ps *pageState, m pageMode) {
 	}
 }
 
-// wgAllowsSW reports whether write-granularity adaptation permits moving
-// this page to SW mode. For WFS it always does; for WFS+WG only pages with
-// large diffs (or pages that never went through MW measuring) qualify.
-func (n *Node) wgAllowsSW(ps *pageState) bool {
-	if n.c.params.Protocol != WFSWG {
-		return true
+// dropDiff removes a diff from the local cache, reversing storeDiff's live
+// accounting (HLRC retires diffs immediately after flushing them home).
+func (n *Node) dropDiff(k wnKey) {
+	d, ok := n.diffCache[k]
+	if !ok {
+		return
 	}
-	if !ps.wgProbed {
-		return true
-	}
-	return ps.lastDiffSize >= n.c.params.WGThreshold
+	delete(n.diffCache, k)
+	n.liveDiffs--
+	n.Stats.LiveDiffBytes -= int64(d.EncodedSize())
+	n.Stats.NoteLive()
+	n.c.noteDiffCount(-1)
 }
 
 // memPressure reports whether this node's twin+diff pool exceeds the GC

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The protocol registry maps names to Policy factories. The four paper
+// protocols are registered by this package's init; further protocols (HLRC
+// in the public adsm package, future plug-ins) register themselves with
+// Register or MustRegister and become selectable everywhere a protocol
+// name is accepted (Params.Protocol, the harness matrix, the CLI flags).
+
+// Spec describes one registered protocol.
+type Spec struct {
+	// Name is the canonical protocol name (e.g. "WFS+WG").
+	Name string
+	// Aliases are alternative spellings accepted by ParseProtocol
+	// (case-insensitive, like Name).
+	Aliases []string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// New builds the protocol's policy for one cluster.
+	New func() Policy
+}
+
+// The builtins are registered during variable initialization (not init())
+// so that any package-level Register call elsewhere — which Go runs after
+// these initializers, because Register depends on them — always sees the
+// builtin ids already claimed.
+var (
+	regMu    sync.RWMutex
+	registry = builtinSpecs()
+	byName   = nameIndex(registry)
+)
+
+func builtinSpecs() []Spec {
+	return []Spec{
+		MW: {Name: "MW", Description: "TreadMarks multiple-writer (twins and diffs)",
+			New: func() Policy { return mwPolicy{} }},
+		SW: {Name: "SW", Description: "CVM-like single-writer (page ownership, versions, static homes)",
+			New: func() Policy { return swPolicy{} }},
+		WFS: {Name: "WFS", Description: "adapts per page between SW and MW on write-write false sharing",
+			New: func() Policy { return adaptivePolicy{} }},
+		WFSWG: {Name: "WFS+WG", Aliases: []string{"WFSWG"},
+			Description: "WFS plus write-granularity adaptation (3 KB threshold)",
+			New:         func() Policy { return adaptivePolicy{wg: true} }},
+	}
+}
+
+func nameIndex(specs []Spec) map[string]Protocol {
+	idx := make(map[string]Protocol)
+	for i, s := range specs {
+		idx[foldName(s.Name)] = Protocol(i)
+		for _, a := range s.Aliases {
+			idx[foldName(a)] = Protocol(i)
+		}
+	}
+	return idx
+}
+
+// Register adds a protocol to the registry and returns its id. It fails if
+// the spec is incomplete or any of its names is already taken.
+func Register(s Spec) (Protocol, error) {
+	if strings.TrimSpace(s.Name) == "" {
+		return 0, fmt.Errorf("dsm: protocol name must not be empty")
+	}
+	if s.New == nil {
+		return 0, fmt.Errorf("dsm: protocol %q has no policy factory", s.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := append([]string{s.Name}, s.Aliases...)
+	for _, name := range names {
+		if prev, ok := byName[foldName(name)]; ok {
+			return 0, fmt.Errorf("dsm: protocol name %q already registered (by %s)",
+				name, registry[prev].Name)
+		}
+	}
+	id := Protocol(len(registry))
+	registry = append(registry, s)
+	for _, name := range names {
+		byName[foldName(name)] = id
+	}
+	return id, nil
+}
+
+// MustRegister is Register, panicking on error (for init-time use).
+func MustRegister(s Spec) Protocol {
+	id, err := Register(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func foldName(s string) string { return strings.ToUpper(strings.TrimSpace(s)) }
+
+// ParseProtocol resolves a protocol name — canonical or alias,
+// case-insensitive — to its id.
+func ParseProtocol(name string) (Protocol, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if id, ok := byName[foldName(name)]; ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("dsm: unknown protocol %q (registered: %s)",
+		name, strings.Join(protocolNamesLocked(), ", "))
+}
+
+// RegisteredProtocols lists every protocol in registration order.
+func RegisteredProtocols() []Protocol {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Protocol, len(registry))
+	for i := range registry {
+		out[i] = Protocol(i)
+	}
+	return out
+}
+
+// ProtocolNames lists the canonical protocol names in registration order.
+func ProtocolNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return protocolNamesLocked()
+}
+
+func protocolNamesLocked() []string {
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func (p Protocol) String() string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if int(p) < 0 || int(p) >= len(registry) {
+		return "?"
+	}
+	return registry[p].Name
+}
+
+// Description returns the protocol's one-line summary.
+func (p Protocol) Description() string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if int(p) < 0 || int(p) >= len(registry) {
+		return ""
+	}
+	return registry[p].Description
+}
+
+// newPolicy instantiates the protocol's policy, panicking on an
+// unregistered id (a Params misconfiguration).
+func (p Protocol) newPolicy() Policy {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if int(p) < 0 || int(p) >= len(registry) {
+		panic(fmt.Sprintf("dsm: protocol id %d is not registered", int(p)))
+	}
+	return registry[p].New()
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltinsStable(t *testing.T) {
+	// The builtin ids are API: Params.Protocol values must keep meaning the
+	// same protocol across releases.
+	for _, tc := range []struct {
+		id   Protocol
+		name string
+	}{{MW, "MW"}, {SW, "SW"}, {WFS, "WFS"}, {WFSWG, "WFS+WG"}} {
+		if got := tc.id.String(); got != tc.name {
+			t.Errorf("Protocol(%d).String() = %q, want %q", int(tc.id), got, tc.name)
+		}
+	}
+	if Protocol(999).String() != "?" {
+		t.Errorf("out-of-range protocol should print ?")
+	}
+}
+
+func TestParseProtocolRoundTrip(t *testing.T) {
+	for _, p := range RegisteredProtocols() {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+		// Case-insensitive.
+		got, err = ParseProtocol(strings.ToLower(p.String()))
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(lower %q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+}
+
+func TestParseProtocolAliases(t *testing.T) {
+	p, err := ParseProtocol("WFSWG")
+	if err != nil || p != WFSWG {
+		t.Errorf("alias WFSWG: got %v, %v", p, err)
+	}
+	if _, err := ParseProtocol("nope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown protocol") {
+		t.Errorf("unknown name: got %v", err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	if _, err := Register(Spec{Name: "MW", New: NewHLRCPolicy}); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate name: got %v", err)
+	}
+	// Aliases collide with canonical names too.
+	if _, err := Register(Spec{Name: "fresh-proto", Aliases: []string{"mw"}, New: NewHLRCPolicy}); err == nil {
+		t.Errorf("duplicate alias accepted")
+	}
+	if _, err := Register(Spec{Name: "  ", New: NewHLRCPolicy}); err == nil {
+		t.Errorf("blank name accepted")
+	}
+	if _, err := Register(Spec{Name: "no-factory"}); err == nil {
+		t.Errorf("nil factory accepted")
+	}
+}
+
+func TestRegisteredProtocolListing(t *testing.T) {
+	names := ProtocolNames()
+	if len(names) != len(RegisteredProtocols()) {
+		t.Fatalf("names/ids length mismatch: %d vs %d", len(names), len(RegisteredProtocols()))
+	}
+	want := map[string]bool{"MW": true, "SW": true, "WFS": true, "WFS+WG": true, "HLRC": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing protocols in listing: %v (have %v)", want, names)
+	}
+}
+
+// TestRegisteredPolicyRuns: a protocol registered at runtime (not a
+// builtin) is immediately usable by New — the plug-in seam end to end.
+func TestRegisteredPolicyRuns(t *testing.T) {
+	p := MustRegister(Spec{
+		Name:        "HLRC-copy",
+		Description: "second registration of the hlrc policy",
+		New:         NewHLRCPolicy,
+	})
+	c := New(testParams(2, p))
+	x := c.Alloc(8)
+	mustRun(t, c, func(n *Node) {
+		n.Acquire(0)
+		n.WriteU64(x, n.ReadU64(x)+1)
+		n.Release(0)
+		n.Barrier()
+		if got := n.ReadU64(x); got != 2 {
+			t.Errorf("node %d: x = %d, want 2", n.ID(), got)
+		}
+	})
+}

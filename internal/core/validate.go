@@ -34,14 +34,20 @@ func bestOwnerWN(pending []*WriteNotice) *WriteNotice {
 var debugValidate func(n *Node, pg int, ps *pageState, stage string)
 
 // validate brings the page up to date with all write notices this node has
-// received, leaving it valid. It loops because its RPCs block: a write
-// notice can be ingested (by a synchronization message handled for another
-// reason, e.g. this node is the barrier manager) while a fetch is in
-// flight, and must be merged before the page may be declared valid — the
-// classic reentrancy hazard of TreadMarks' SIGIO handler. Runs in process
-// context.
+// received, leaving it valid. How a page becomes valid is protocol policy:
+// the LRC protocols run the merge procedure below, HLRC fetches the home
+// copy. Runs in process context.
 func (n *Node) validate(pg int) {
-	ps := n.pages[pg]
+	n.c.policy.MakeValid(n, pg, n.pages[pg])
+}
+
+// lrcMakeValid is the MakeValid of the diff-based LRC protocols (MW, SW,
+// WFS, WFS+WG). It loops because its RPCs block: a write notice can be
+// ingested (by a synchronization message handled for another reason, e.g.
+// this node is the barrier manager) while a fetch is in flight, and must
+// be merged before the page may be declared valid — the classic reentrancy
+// hazard of TreadMarks' SIGIO handler.
+func (n *Node) lrcMakeValid(pg int, ps *pageState) {
 	for round := 0; ; round++ {
 		if round > 1000 {
 			panic(fmt.Sprintf("dsm: node %d cannot settle page %d", n.id, pg))
@@ -139,7 +145,12 @@ func (n *Node) installPage(pg int, ps *pageState, data []byte, applied []int32) 
 			continue
 		}
 		if wn.Int.Proc == n.id && n.diffCache[keyOf(wn)] == nil {
-			continue // our own still-undiffed writes ride along in `mine`
+			// Our own writes with no cached diff: under the LRC protocols
+			// they are still-undiffed and ride along in `mine`; under HLRC
+			// the diff was flushed home and retired, and the fetched home
+			// copy's applied vector already dominates them (the Leq filter
+			// above drops them before reaching here).
+			continue
 		}
 		replay = append(replay, wn)
 	}
@@ -273,20 +284,7 @@ func (n *Node) servePage(c *sim.Call, from int, m pageReq) {
 		c.Forward(target, pageReq{Page: m.Page, Hops: m.Hops + 1})
 		return
 	}
-	// WFS+WG: a remote read of a page we own and have modified makes the
-	// page read-write shared; switch it to MW at our next release so its
-	// write granularity can be measured (Section 3.3).
-	if n.c.params.Protocol == WFSWG && ps.owner && !ps.wgProbed &&
-		(ps.wroteSW || ps.myLastWN != nil) && from != n.id {
-		ps.wgProbed = true
-		ps.dropOwnership = true
-		if !ps.wroteSW {
-			// Nothing dirty this interval: drop ownership immediately via
-			// an empty-handed release at the next interval close; mark the
-			// page so the drop happens even without new writes.
-			n.queueOwnershipDrop(m.Page, ps)
-		}
-	}
+	n.c.policy.OnServePage(n, from, m.Page, ps)
 	snap := make([]byte, len(ps.data))
 	copy(snap, ps.data)
 	c.Reply(pageResp{Data: snap, Applied: ps.applied.Copy()})
@@ -310,12 +308,7 @@ func (n *Node) queueOwnershipDrop(pg int, ps *pageState) {
 // the copyset (adaptive mechanism 1).
 func (n *Node) serveDiffs(c *sim.Call, from int, m diffReq) {
 	ps := n.pages[m.Page]
-	if n.c.params.Protocol.Adaptive() {
-		if ps.copysetFS == nil {
-			ps.copysetFS = make(map[int]bool)
-		}
-		ps.copysetFS[from] = m.SeesFS
-	}
+	n.c.policy.OnServeDiffs(n, from, ps, m.SeesFS)
 	var cost sim.Time
 	resp := diffResp{}
 	for _, k := range m.Wants {

@@ -19,6 +19,10 @@ import (
 type Matrix struct {
 	Quick bool
 	Procs int
+	// Protos restricts the protocol columns of the cross-protocol tables
+	// (Figure 2, Table 4, the JSON report). Empty means every registered
+	// protocol.
+	Protos []adsm.Protocol
 
 	mu  sync.Mutex
 	seq map[string]*runResult
@@ -39,6 +43,30 @@ func NewMatrix(quick bool) *Matrix {
 		seq:   make(map[string]*runResult),
 		par:   make(map[string]map[adsm.Protocol]*runResult),
 	}
+}
+
+// protocols returns the protocol columns of the cross-protocol tables:
+// the paper's presentation order (Figure 2: MW, WFS+WG, WFS, SW) followed
+// by later registrations (HLRC, ...) in registration order.
+func (m *Matrix) protocols() []adsm.Protocol {
+	if len(m.Protos) > 0 {
+		return m.Protos
+	}
+	paper := []adsm.Protocol{adsm.MW, adsm.WFSWG, adsm.WFS, adsm.SW}
+	out := append([]adsm.Protocol(nil), paper...)
+	for _, p := range adsm.Protocols() {
+		inPaper := false
+		for _, q := range paper {
+			if p == q {
+				inPaper = true
+				break
+			}
+		}
+		if !inPaper {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // run executes one (app, protocol, procs) cell with optional config hooks.
@@ -242,14 +270,19 @@ func granularityClass(avg float64, max int) string {
 	}
 }
 
-// Figure2 reproduces Figure 2: speedups on 8 processors for MW, WFS+WG,
-// WFS and SW.
+// Figure2 reproduces Figure 2: speedups on 8 processors, one column per
+// protocol (the paper's four plus any registered additions, e.g. HLRC).
 func (m *Matrix) Figure2() string {
-	t := &table{header: []string{"Application", "MW", "WFS+WG", "WFS", "SW", "best"}}
+	header := []string{"Application"}
+	for _, proto := range m.protocols() {
+		header = append(header, proto.String())
+	}
+	header = append(header, "best")
+	t := &table{header: header}
 	for _, e := range apps.Registry {
 		cells := []string{e.Name}
 		best, bestName := 0.0, ""
-		for _, proto := range adsm.Protocols {
+		for _, proto := range m.protocols() {
 			s := m.Speedup(e.Name, proto)
 			cells = append(cells, fmt.Sprintf("%.2f", s))
 			if s > best {
@@ -281,7 +314,7 @@ func (m *Matrix) Table3() string {
 func (m *Matrix) Table4() string {
 	t := &table{header: []string{"Program", "Protocol", "Msgs (10^3)", "Owner (10^3)", "Data (MB)"}}
 	for _, e := range apps.Registry {
-		for _, proto := range adsm.Protocols {
+		for _, proto := range m.protocols() {
 			rep := m.Parallel(e.Name, proto)
 			t.add(e.Name, proto.String(),
 				fmt.Sprintf("%.2f", float64(rep.Stats.Messages)/1000),

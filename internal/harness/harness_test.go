@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestTablesRender(t *testing.T) {
 func TestSpeedupsPositive(t *testing.T) {
 	m := quickMatrix()
 	for _, name := range AppNames() {
-		for _, proto := range adsm.Protocols {
+		for _, proto := range adsm.Protocols() {
 			if s := m.Speedup(name, proto); s <= 0 {
 				t.Errorf("%s under %v: speedup %v", name, proto, s)
 			}
@@ -92,6 +93,59 @@ func TestAblationsRun(t *testing.T) {
 	out := m.Ablations()
 	if !strings.Contains(out, "quantum") || !strings.Contains(out, "wg-threshold") {
 		t.Errorf("ablation table malformed:\n%s", out)
+	}
+}
+
+func TestProtocolFilter(t *testing.T) {
+	m := quickMatrix()
+	m.Protos = []adsm.Protocol{adsm.MW}
+	f2 := m.Figure2()
+	if strings.Contains(f2, "HLRC") || strings.Contains(f2, "WFS") {
+		t.Errorf("filtered Figure2 still shows other protocols:\n%s", f2)
+	}
+	if !strings.Contains(f2, "MW") {
+		t.Errorf("filtered Figure2 lost MW:\n%s", f2)
+	}
+}
+
+func TestFigure2IncludesRegisteredProtocols(t *testing.T) {
+	m := quickMatrix()
+	f2 := m.Figure2()
+	for _, p := range adsm.Protocols() {
+		if !strings.Contains(f2, p.String()) {
+			t.Errorf("Figure2 missing column for %v:\n%s", p, f2)
+		}
+	}
+}
+
+func TestBenchReportJSON(t *testing.T) {
+	m := quickMatrix()
+	m.Protos = []adsm.Protocol{adsm.MW, adsm.HLRC} // keep the test fast
+	data, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if r.Procs != m.Procs || !r.Quick {
+		t.Errorf("report header wrong: %+v", r)
+	}
+	wantCells := len(AppNames()) * 2
+	if len(r.Cells) != wantCells {
+		t.Errorf("got %d cells, want %d", len(r.Cells), wantCells)
+	}
+	for _, c := range r.Cells {
+		if c.VirtualUS <= 0 {
+			t.Errorf("%s/%s: non-positive virtual time", c.App, c.Protocol)
+		}
+		if c.Speedup <= 0 {
+			t.Errorf("%s/%s: non-positive speedup", c.App, c.Protocol)
+		}
+		if c.Protocol == "HLRC" && c.GCRuns != 0 {
+			t.Errorf("%s under HLRC ran GC %d times", c.App, c.GCRuns)
+		}
 	}
 }
 

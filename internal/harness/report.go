@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"encoding/json"
+
+	"adsm/internal/apps"
+)
+
+// The machine-readable benchmark report: one cell per app x protocol with
+// the quantities a perf trajectory needs (virtual execution time, message
+// count, data volume). `dsmbench -exp json` emits it so successive PRs can
+// archive BENCH_*.json files and diff them.
+
+// BenchCell is one (application, protocol) measurement.
+type BenchCell struct {
+	App       string  `json:"app"`
+	Protocol  string  `json:"protocol"`
+	VirtualUS int64   `json:"virtual_us"`
+	Speedup   float64 `json:"speedup"`
+	Messages  int64   `json:"messages"`
+	DataBytes int64   `json:"data_bytes"`
+	GCRuns    int64   `json:"gc_runs"`
+	TwinDiffB int64   `json:"twin_diff_bytes"`
+}
+
+// BenchSeq is one application's sequential baseline.
+type BenchSeq struct {
+	App       string `json:"app"`
+	VirtualUS int64  `json:"virtual_us"`
+}
+
+// BenchReport is the full matrix measurement.
+type BenchReport struct {
+	Procs      int         `json:"procs"`
+	Quick      bool        `json:"quick"`
+	Protocols  []string    `json:"protocols"`
+	Sequential []BenchSeq  `json:"sequential"`
+	Cells      []BenchCell `json:"cells"`
+}
+
+// BenchReport runs (or reuses) the matrix and assembles the report.
+func (m *Matrix) BenchReport() BenchReport {
+	r := BenchReport{Procs: m.Procs, Quick: m.Quick}
+	for _, proto := range m.protocols() {
+		r.Protocols = append(r.Protocols, proto.String())
+	}
+	for _, e := range apps.Registry {
+		seq := m.Sequential(e.Name)
+		r.Sequential = append(r.Sequential, BenchSeq{
+			App:       e.Name,
+			VirtualUS: seq.Elapsed.Microseconds(),
+		})
+		for _, proto := range m.protocols() {
+			rep := m.Parallel(e.Name, proto)
+			r.Cells = append(r.Cells, BenchCell{
+				App:       e.Name,
+				Protocol:  proto.String(),
+				VirtualUS: rep.Elapsed.Microseconds(),
+				Speedup:   m.Speedup(e.Name, proto),
+				Messages:  rep.Stats.Messages,
+				DataBytes: rep.Stats.DataBytes,
+				GCRuns:    rep.Stats.GCRuns,
+				TwinDiffB: rep.Stats.TwinBytes + rep.Stats.DiffBytes,
+			})
+		}
+	}
+	return r
+}
+
+// JSON renders the report with stable indentation (diff-friendly).
+func (m *Matrix) JSON() ([]byte, error) {
+	r := m.BenchReport()
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,94 @@
+package adsm_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adsm"
+	"adsm/internal/apps"
+)
+
+func TestProtocolRegistryListing(t *testing.T) {
+	ps := adsm.Protocols()
+	if len(ps) < 5 {
+		t.Fatalf("expected at least 5 registered protocols, got %v", adsm.ProtocolNames())
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		seen[p.String()] = true
+	}
+	for _, want := range []string{"MW", "SW", "WFS", "WFS+WG", "HLRC"} {
+		if !seen[want] {
+			t.Errorf("protocol %s missing from listing %v", want, adsm.ProtocolNames())
+		}
+	}
+	if adsm.HLRC.Description() == "" {
+		t.Errorf("HLRC has no description")
+	}
+}
+
+func TestParseProtocolRoundTrip(t *testing.T) {
+	for _, p := range adsm.Protocols() {
+		got, err := adsm.ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if p, err := adsm.ParseProtocol("wfswg"); err != nil || p != adsm.WFSWG {
+		t.Errorf("alias wfswg: got %v, %v", p, err)
+	}
+	if _, err := adsm.ParseProtocol("bogus"); err == nil ||
+		!strings.Contains(err.Error(), "unknown protocol") {
+		t.Errorf("unknown protocol: got %v", err)
+	}
+}
+
+func TestRegisterProtocolDuplicate(t *testing.T) {
+	if _, err := adsm.RegisterProtocol(adsm.ProtocolSpec{Name: "HLRC"}); err == nil {
+		t.Errorf("re-registering HLRC must fail")
+	}
+	if _, err := adsm.RegisterProtocol(adsm.ProtocolSpec{Name: "brand-new"}); err == nil {
+		t.Errorf("registering without a factory must fail")
+	}
+}
+
+// TestCrossProtocolScenarioMatrix asserts that every registered protocol
+// produces the same application results as the sequential execution on
+// three workloads with different sharing behaviour: SOR (barriers, no
+// false sharing), IS (migratory buckets under locks) and TSP (branch and
+// bound, central queue under a lock).
+func TestCrossProtocolScenarioMatrix(t *testing.T) {
+	for _, name := range []string{"SOR", "IS", "TSP"} {
+		t.Run(name, func(t *testing.T) {
+			seqApp, _, err := runApp(name, 1, adsm.MW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := seqApp.Result()
+			for _, proto := range adsm.Protocols() {
+				app, rep, err := runApp(name, 4, proto)
+				if err != nil {
+					t.Fatalf("%s under %v: %v", name, proto, err)
+				}
+				if got := app.Result(); math.Abs(got-seq) > math.Abs(seq)*1e-9 {
+					t.Errorf("%s under %v: result %v != sequential %v", name, proto, got, seq)
+				}
+				if rep.Stats.Messages == 0 && proto != adsm.MW {
+					t.Errorf("%s under %v: no communication recorded", name, proto)
+				}
+			}
+		})
+	}
+}
+
+func runApp(name string, procs int, proto adsm.Protocol) (apps.App, *adsm.Report, error) {
+	app, err := apps.New(name, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := adsm.NewCluster(adsm.Config{Procs: procs, Protocol: proto})
+	app.Setup(cl)
+	rep, err := cl.Run(app.Body)
+	return app, rep, err
+}
