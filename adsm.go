@@ -70,6 +70,80 @@ var HLRC = MustRegisterProtocol(ProtocolSpec{
 	New:         core.NewHLRCPolicy,
 })
 
+// HomePolicy selects how pages are assigned to home nodes for the
+// home-based protocols (SW request routing, HLRC diff flushing). Values
+// are ids into the home-policy registry; the built-in constants are
+// stable. Protocols that never consult a home (MW, WFS, WFS+WG) ignore
+// the setting.
+type HomePolicy int
+
+const (
+	// StaticHomes places page pg at node pg % procs (the default).
+	StaticHomes HomePolicy = iota
+	// FirstTouchHomes binds a page's home at its first fault, agreed
+	// cluster-wide through the allocator (node 0).
+	FirstTouchHomes
+	// RoundRobinAllocHomes stripes homes per Alloc call so each array's
+	// pages spread evenly over the processors.
+	RoundRobinAllocHomes
+	// BlockHomes assigns contiguous page ranges per processor, matching
+	// band partitioning (SOR/Shallow row decompositions).
+	BlockHomes
+)
+
+// HomeSpec describes a home policy implementation for RegisterHomePolicy.
+// Like protocol policies, implementations live in internal/core; the spec
+// binds one to a name, aliases, and a description.
+type HomeSpec = core.HomeSpec
+
+// RegisterHomePolicy adds a home policy to the registry, making it
+// selectable by Config.HomePolicy, ParseHomePolicy, the harness home
+// sweep, and the CLI -home flags.
+func RegisterHomePolicy(s HomeSpec) (HomePolicy, error) {
+	id, err := core.RegisterHome(s)
+	return HomePolicy(id), err
+}
+
+// MustRegisterHomePolicy is RegisterHomePolicy, panicking on error.
+func MustRegisterHomePolicy(s HomeSpec) HomePolicy {
+	return HomePolicy(core.MustRegisterHome(s))
+}
+
+// ParseHomePolicy resolves a home policy name — canonical or alias,
+// case-insensitive — such as "static", "first-touch" or "rr-alloc".
+func ParseHomePolicy(name string) (HomePolicy, error) {
+	id, err := core.ParseHome(name)
+	return HomePolicy(id), err
+}
+
+// HomePolicies lists every registered home policy in registration order.
+func HomePolicies() []HomePolicy {
+	ids := core.RegisteredHomes()
+	out := make([]HomePolicy, len(ids))
+	for i, id := range ids {
+		out[i] = HomePolicy(id)
+	}
+	return out
+}
+
+// HomePolicyNames lists the canonical names of every registered home
+// policy.
+func HomePolicyNames() []string { return core.HomeNames() }
+
+func (h HomePolicy) String() string { return h.core().String() }
+
+// Description returns the home policy's one-line summary.
+func (h HomePolicy) Description() string { return h.core().Description() }
+
+func (h HomePolicy) core() core.Home { return core.Home(h) }
+
+// WithHomePolicy returns a Config mutator selecting the home policy —
+// convenient for sweeps that vary one dimension of an otherwise shared
+// configuration (the harness home sweep uses it).
+func WithHomePolicy(h HomePolicy) func(*Config) {
+	return func(c *Config) { c.HomePolicy = h }
+}
+
 // ProtocolSpec describes a protocol implementation for RegisterProtocol.
 // Implementations live in internal/core (they plug into the engine's
 // Policy seam); the spec binds one to a name, aliases, and a description.
@@ -122,6 +196,9 @@ type Config struct {
 	Procs int
 	// Protocol selects the coherence protocol (default MW).
 	Protocol Protocol
+	// HomePolicy selects the page-to-home assignment for the home-based
+	// protocols (default StaticHomes).
+	HomePolicy HomePolicy
 	// SharedBytes bounds the shared segment (default 64 MB).
 	SharedBytes int
 	// DiffSpaceLimit is the per-node twin+diff pool size that triggers
@@ -153,6 +230,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	p := core.DefaultParams(cfg.Procs)
 	p.Protocol = cfg.Protocol.core()
+	p.Home = cfg.HomePolicy.core()
 	if cfg.SharedBytes > 0 {
 		p.MaxSharedBytes = cfg.SharedBytes
 	}
@@ -217,6 +295,7 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 	ch := cl.c.Detector().Characteristics((cl.c.Allocated() + PageSize - 1) / PageSize)
 	r := &Report{
 		Protocol: cl.cfg.Protocol,
+		Home:     cl.cfg.HomePolicy,
 		Procs:    cl.cfg.Procs,
 		Elapsed:  elapsed.Duration(),
 		Stats: Stats{
@@ -240,6 +319,10 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			SWtoMW:            tot.SWtoMW,
 			MWtoSW:            tot.MWtoSW,
 			GCRuns:            cl.c.GCRuns(),
+			HomeFlushes:       tot.HomeFlushes,
+			HomeFlushBytes:    tot.HomeFlushBytes,
+			HomeLocalDiffs:    tot.HomeLocalDiffs,
+			HomeBinds:         tot.HomeBinds,
 		},
 		Sharing: Sharing{
 			SharedPages:  ch.SharedPages,
@@ -284,6 +367,10 @@ type Stats struct {
 	SWtoMW            int64 // page-mode transitions (adaptive protocols)
 	MWtoSW            int64
 	GCRuns            int64
+	HomeFlushes       int64 // HLRC flush messages sent to remote homes
+	HomeFlushBytes    int64 // payload bytes of those flushes
+	HomeLocalDiffs    int64 // diffs retired locally (writer was the home)
+	HomeBinds         int64 // first-touch home agreement requests
 }
 
 // Sharing summarizes the measured application characteristics (the
@@ -306,6 +393,7 @@ type TimelinePoint struct {
 // Report is the result of one cluster execution.
 type Report struct {
 	Protocol     Protocol
+	Home         HomePolicy
 	Procs        int
 	Elapsed      time.Duration
 	Stats        Stats

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|json]
-//	         [-quick] [-procs N] [-protocols MW,HLRC] [-out FILE] [-fig3csv]
+//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|json]
+//	         [-quick] [-procs N] [-protocols MW,HLRC] [-home static]
+//	         [-out FILE] [-fig3csv]
 package main
 
 import (
@@ -21,12 +22,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, json")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, json")
 	quick := flag.Bool("quick", false, "use reduced inputs (fast, for smoke testing)")
 	procs := flag.Int("procs", 8, "number of processors (the paper used 8)")
 	protocols := flag.String("protocols", "",
 		"comma-separated protocol subset for the cross-protocol experiments (default: all of "+
 			strings.Join(adsm.ProtocolNames(), ",")+")")
+	homeName := flag.String("home", "static",
+		"home-assignment policy for every cell ("+strings.Join(adsm.HomePolicyNames(), ", ")+
+			"); the homes/json experiments additionally sweep all of them")
 	out := flag.String("out", "", "write the output to FILE instead of stdout (json experiment)")
 	fig3csv := flag.Bool("fig3csv", false, "emit the Figure 3 timelines as CSV instead of the summary")
 	flag.Parse()
@@ -43,6 +47,12 @@ func main() {
 			m.Protos = append(m.Protos, p)
 		}
 	}
+	home, err := adsm.ParseHomePolicy(*homeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		os.Exit(2)
+	}
+	m.Home = home
 
 	run := func(f func() string) {
 		fmt.Println(f())
@@ -76,6 +86,8 @@ func main() {
 		}
 	case "ablation":
 		run(m.Ablations)
+	case "homes":
+		run(m.HomeSweep)
 	case "json":
 		data, err := m.JSON()
 		if err != nil {

@@ -24,9 +24,12 @@ func main() {
 	appName := flag.String("app", "SOR", "application (SOR, IS, TSP, Water, 3D-FFT, Shallow, Barnes, ILINK)")
 	protoName := flag.String("protocol", "WFS",
 		"protocol ("+strings.Join(adsm.ProtocolNames(), ", ")+")")
+	homeName := flag.String("home", "static",
+		"home-assignment policy ("+strings.Join(adsm.HomePolicyNames(), ", ")+")")
 	procs := flag.Int("procs", 8, "number of processors")
 	quick := flag.Bool("quick", false, "use reduced inputs")
 	list := flag.Bool("protocols", false, "list the registered protocols and exit")
+	listHomes := flag.Bool("homes", false, "list the registered home policies and exit")
 	flag.Parse()
 
 	if *list {
@@ -35,8 +38,19 @@ func main() {
 		}
 		return
 	}
+	if *listHomes {
+		for _, h := range adsm.HomePolicies() {
+			fmt.Printf("%-18s %s\n", h, h.Description())
+		}
+		return
+	}
 
 	proto, err := adsm.ParseProtocol(*protoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(2)
+	}
+	home, err := adsm.ParseHomePolicy(*homeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(2)
@@ -47,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cl := adsm.NewCluster(adsm.Config{Procs: *procs, Protocol: proto})
+	cl := adsm.NewCluster(adsm.Config{Procs: *procs, Protocol: proto, HomePolicy: home})
 	app.Setup(cl)
 	rep, err := cl.Run(app.Body)
 	if err != nil {
@@ -56,7 +70,8 @@ func main() {
 	}
 
 	s := rep.Stats
-	fmt.Printf("%s under %v on %d processors (%s)\n", app.Name(), proto, *procs, app.DataSet())
+	fmt.Printf("%s under %v on %d processors (%s homes, %s)\n",
+		app.Name(), proto, *procs, home, app.DataSet())
 	fmt.Printf("  elapsed (virtual)    %v\n", rep.Elapsed)
 	fmt.Printf("  checksum             %v\n", app.Result())
 	fmt.Printf("  messages             %d (%.2f MB)\n", s.Messages, rep.DataMB())
@@ -68,6 +83,10 @@ func main() {
 		s.TwinsCreated, s.DiffsCreated, rep.MemoryMB(), s.DiffsApplied)
 	fmt.Printf("  mode transitions     %d SW->MW, %d MW->SW\n", s.SWtoMW, s.MWtoSW)
 	fmt.Printf("  garbage collections  %d\n", s.GCRuns)
+	if s.HomeFlushes > 0 || s.HomeLocalDiffs > 0 || s.HomeBinds > 0 {
+		fmt.Printf("  home flushes         %d remote (%.2f MB), %d local diffs, %d binds\n",
+			s.HomeFlushes, float64(s.HomeFlushBytes)/(1<<20), s.HomeLocalDiffs, s.HomeBinds)
+	}
 	fmt.Printf("  synchronization      %d lock acquires, %d barriers\n", s.LockAcquires, s.Barriers)
 	fmt.Printf("  sharing (Table 2)    %.1f%% WW falsely shared pages, avg diff %.0f B\n",
 		rep.Sharing.FSPercent, rep.Sharing.AvgDiffBytes)

@@ -14,12 +14,15 @@ import (
 type Cluster struct {
 	params Params
 	policy Policy
+	homes  HomeAssigner
 	eng    *sim.Engine
 	net    *sim.Net
 	nodes  []*Node
 
 	npages    int
 	allocated int
+	allocs    []allocSpan
+	started   bool
 
 	locks map[int]*mgrLock
 	bar   barrierMgr
@@ -45,6 +48,7 @@ func New(p Params) *Cluster {
 	c := &Cluster{
 		params:   p,
 		policy:   p.Protocol.newPolicy(),
+		homes:    p.Home.newAssigner(),
 		eng:      sim.NewEngine(),
 		net:      nil,
 		npages:   npages,
@@ -83,9 +87,17 @@ func (c *Cluster) Detector() *Detector { return c.detector }
 // GCRuns reports how many garbage collections ran.
 func (c *Cluster) GCRuns() int64 { return c.gcRuns }
 
-// homeOf returns the static home of a page (the home-based protocols: pure
-// SW request routing and HLRC diff flushing).
-func (c *Cluster) homeOf(pg int) int { return pg % c.params.Procs }
+// homeOf returns the home of a page under the cluster's home policy, or
+// -1 when it is not yet bound (first touch). Non-blocking; processes that
+// may need to bind a page use Node.resolveHome instead.
+func (c *Cluster) homeOf(pg int) int { return c.homes.Lookup(c, pg) }
+
+// Homes exposes the home assigner (for tests and instrumentation).
+func (c *Cluster) Homes() HomeAssigner { return c.homes }
+
+// allocSpan records one Alloc call so allocation-aware home policies
+// (round-robin-alloc) can reconstruct the data layout.
+type allocSpan struct{ addr, size int }
 
 // usedPages returns the number of pages covered by allocations.
 func (c *Cluster) usedPages() int {
@@ -107,6 +119,7 @@ func (c *Cluster) Alloc(n int) int {
 		panic(fmt.Sprintf("dsm: shared segment exhausted (%d + %d > %d)", addr, n, c.npages*mem.PageSize))
 	}
 	c.allocated = addr + n
+	c.allocs = append(c.allocs, allocSpan{addr: addr, size: n})
 	return addr
 }
 
@@ -117,12 +130,25 @@ func (c *Cluster) AllocPageAligned(n int) int {
 		panic("dsm: shared segment exhausted")
 	}
 	c.allocated = addr + n
+	c.allocs = append(c.allocs, allocSpan{addr: addr, size: n})
 	return addr
 }
 
 // Run executes body on every node (SPMD) and returns the virtual time at
-// completion.
+// completion. Page state is initialized here — after every allocation, so
+// allocation-aware home policies see the final data layout — rather than
+// at construction.
 func (c *Cluster) Run(body func(n *Node)) (sim.Time, error) {
+	if c.started {
+		panic("dsm: cluster already ran")
+	}
+	c.started = true
+	c.homes.Prepare(c)
+	for _, n := range c.nodes {
+		for pg, ps := range n.pages {
+			c.policy.InitPage(c, n.id, pg, ps)
+		}
+	}
 	for i := 0; i < c.params.Procs; i++ {
 		n := c.nodes[i]
 		c.eng.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
@@ -156,6 +182,8 @@ func (n *Node) handle(call *sim.Call, from int, m sim.Msg) {
 		n.serveAcqFwd(call, from, msg)
 	case barArrive:
 		n.serveBarrier(call, from, msg)
+	case homeBindReq:
+		n.c.homes.(homeBinder).serveBind(n, call, from, msg)
 	default:
 		panic(fmt.Sprintf("dsm: node %d received unknown message %T", n.id, m))
 	}

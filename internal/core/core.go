@@ -43,7 +43,10 @@ const (
 type Params struct {
 	Procs    int
 	Protocol Protocol
-	Net      sim.NetParams
+	// Home selects the home-assignment policy for the home-based
+	// protocols (zero value: static pg % procs).
+	Home Home
+	Net  sim.NetParams
 
 	// CostTwin is the time to copy a page into a twin (104 us).
 	CostTwin sim.Time

@@ -55,7 +55,11 @@ func (d *Detector) noteWrite(wn *WriteNotice) {
 			}
 		}
 	}
-	p.lastWrite[proc] = wn.Int.VC
+	// Store a snapshot, not the interval's own vector: vc.VC is a mutable
+	// slice, and holding a reference would let a later in-place mutation
+	// (Join/Tick on a vector that aliases it) retroactively corrupt the
+	// concurrency check above.
+	p.lastWrite[proc] = wn.Int.VC.Copy()
 }
 
 // noteAccess records that a processor touched a page.

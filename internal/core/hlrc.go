@@ -28,11 +28,17 @@ func NewHLRCPolicy() Policy { return hlrcPolicy{} }
 type hlrcPolicy struct{ basePolicy }
 
 // InitPage: pages start in MW mode (twins and diffs for write detection)
-// with the initial zeroed copy living at the static home.
+// with the initial zeroed copy living at the home. When the home policy
+// has not bound the page yet (first touch), the allocator holds the
+// initial copy until a home emerges.
 func (hlrcPolicy) InitPage(c *Cluster, id, pg int, ps *pageState) {
 	ps.mode = modeMW
-	ps.perceivedOwner = c.homeOf(pg)
-	if id == c.homeOf(pg) {
+	home := c.homeOf(pg)
+	if home < 0 {
+		home = homeDirNode
+	}
+	ps.perceivedOwner = home
+	if id == home {
 		ps.data = mem.NewPage()
 		ps.status = pageReadOnly
 	}
@@ -66,8 +72,16 @@ func (hlrcPolicy) MakeValid(n *Node, pg int, ps *pageState) {
 		if ps.data != nil && len(ps.pending) == 0 {
 			break
 		}
-		home := n.c.homeOf(pg)
+		home := n.resolveHome(pg)
 		if home == n.id {
+			if ps.data == nil && len(ps.pending) == 0 {
+				// A freshly bound first-touch home materializes its initial
+				// copy: pages are zero-initialized and every modification
+				// anywhere reaches the home as a flushed diff, so the zero
+				// page plus the applied flushes is exact.
+				ps.data = mem.NewPage()
+				continue
+			}
 			msg := fmt.Sprintf("dsm: hlrc home %d has a stale copy of page %d (applied=%v)", n.id, pg, ps.applied)
 			for _, wn := range ps.pending {
 				msg += fmt.Sprintf("\n  pending wn proc=%d ts=%d owner=%v vc=%v", wn.Int.Proc, wn.Int.TS, wn.Owner, wn.Int.VC)
@@ -100,8 +114,12 @@ func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval) {
 		}
 		d := n.makeDiff(wn.Page, ps)
 		n.proc.Advance(n.c.params.diffCost(d))
-		if home := n.c.homeOf(wn.Page); home != n.id {
+		if home := n.resolveHome(wn.Page); home != n.id {
 			perHome[home] = append(perHome[home], hlrcEntry{Page: wn.Page, Diff: d})
+		} else {
+			// This node is the page's home: the write is already in the
+			// home copy (the writer's own data), no flush travels.
+			n.Stats.HomeLocalDiffs++
 		}
 		flushed = append(flushed, keyOf(wn))
 	}
@@ -109,10 +127,10 @@ func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval) {
 		var targets []sim.Target
 		for p := 0; p < n.c.params.Procs; p++ {
 			if es, ok := perHome[p]; ok {
-				targets = append(targets, sim.Target{
-					To: p,
-					M:  hlrcFlush{VC: iv.VC, Entries: es},
-				})
+				m := hlrcFlush{VC: iv.VC, Entries: es}
+				n.Stats.HomeFlushes++
+				n.Stats.HomeFlushBytes += int64(m.Size())
+				targets = append(targets, sim.Target{To: p, M: m})
 			}
 		}
 		n.c.net.Multicall(n.proc, targets)
@@ -132,7 +150,13 @@ func (n *Node) serveHLRCFlush(c *sim.Call, from int, m hlrcFlush) {
 	for _, e := range m.Entries {
 		ps := n.pages[e.Page]
 		if ps.data == nil {
-			panic(fmt.Sprintf("dsm: hlrc home %d missing page %d", n.id, e.Page))
+			// A first-touch home can receive its first flush before its own
+			// MakeValid materialized the copy; start from the zero page
+			// (see MakeValid). A flush addressed to a non-home is a bug.
+			if n.c.homeOf(e.Page) != n.id {
+				panic(fmt.Sprintf("dsm: hlrc home %d missing page %d", n.id, e.Page))
+			}
+			ps.data = mem.NewPage()
 		}
 		e.Diff.Apply(ps.data)
 		if ps.twin != nil {
@@ -167,6 +191,12 @@ func (hlrcPolicy) OnBarrierRelease(n *Node) {
 				k++
 			}
 		}
+		// Clear the dropped tail: the truncated slice keeps its backing
+		// array, and a non-nil tail would keep every retired *Interval
+		// reachable (and its write notices with it) for the whole run.
+		for i := k; i < len(ivs); i++ {
+			ivs[i] = nil
+		}
 		n.intervals[p] = ivs[:k]
 	}
 	for pg := 0; pg < n.c.usedPages(); pg++ {
@@ -178,6 +208,9 @@ func (hlrcPolicy) OnBarrierRelease(n *Node) {
 				wns[k] = wn
 				k++
 			}
+		}
+		for i := k; i < len(wns); i++ {
+			wns[i] = nil
 		}
 		ps.knownWNs = wns[:k]
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"adsm/internal/mem"
+	"adsm/internal/vc"
 )
 
 // The HLRC policy is implemented here but registered by the public adsm
@@ -138,6 +139,86 @@ func TestHLRCLockChain(t *testing.T) {
 			t.Errorf("node %d: counter = %d, want %d", n.ID(), got, procs*rounds)
 		}
 	})
+}
+
+// TestHLRCBarrierReleaseClearsDroppedTails: the barrier-time metadata
+// truncation re-slices in place, and the dropped tail of the backing
+// array must be nil'd — otherwise every retired *Interval and
+// *WriteNotice stays reachable (and uncollectable) for the whole run.
+func TestHLRCBarrierReleaseClearsDroppedTails(t *testing.T) {
+	c := New(testParams(2, hlrcProto))
+	c.Alloc(mem.PageSize) // one used page
+	n := c.nodes[0]
+
+	mk := func(ts int32) *Interval {
+		v := vc.New(2)
+		v[1] = ts
+		return &Interval{Proc: 1, TS: ts, VC: v}
+	}
+	iv1, iv2, iv3 := mk(1), mk(2), mk(3)
+	n.intervals[1] = []*Interval{iv1, iv2, iv3}
+	ps := n.pages[0]
+	wn1 := &WriteNotice{Page: 0, Int: iv1}
+	wn3 := &WriteNotice{Page: 0, Int: iv3}
+	ps.knownWNs = []*WriteNotice{wn1, wn3}
+	n.lastGlobal[1] = 2 // intervals 1 and 2 are globally known: droppable
+
+	origIvs := n.intervals[1]
+	origWNs := ps.knownWNs
+	hlrcPolicy{}.OnBarrierRelease(n)
+
+	if len(n.intervals[1]) != 1 || n.intervals[1][0] != iv3 {
+		t.Fatalf("intervals after release = %v, want just TS 3", n.intervals[1])
+	}
+	for i := 1; i < len(origIvs); i++ {
+		if origIvs[i] != nil {
+			t.Errorf("retired interval at backing index %d still reachable", i)
+		}
+	}
+	if len(ps.knownWNs) != 1 || ps.knownWNs[0] != wn3 {
+		t.Fatalf("knownWNs after release has %d entries, want just the TS-3 notice", len(ps.knownWNs))
+	}
+	if origWNs[1] != nil {
+		t.Errorf("retired write notice at backing index 1 still reachable")
+	}
+}
+
+// TestHLRCHomeSelfWriteApplied: a home that writes its own page must
+// publish an applied vector dominating its own write notices — otherwise
+// a reader that learned those notices could never settle against the
+// home's copy (the "stale copy" panic in MakeValid) and the home itself
+// would reject its own fetches.
+func TestHLRCHomeSelfWriteApplied(t *testing.T) {
+	const procs = 4
+	c := New(testParams(procs, hlrcProto))
+	base := c.AllocPageAligned(procs * mem.PageSize)
+	mustRun(t, c, func(n *Node) {
+		// Every node writes exactly the page it is the static home of, for
+		// several rounds; everyone then reads every page, so each fetch
+		// comes from a home serving a page it wrote itself.
+		for r := 1; r <= 4; r++ {
+			n.WriteU64(base+n.ID()*mem.PageSize, uint64(r*100+n.ID()))
+			n.Barrier()
+			for p := 0; p < procs; p++ {
+				if got := n.ReadU64(base + p*mem.PageSize); got != uint64(r*100+p) {
+					t.Errorf("round %d: node %d reads home %d's page = %d, want %d",
+						r, n.ID(), p, got, r*100+p)
+				}
+			}
+			n.Barrier()
+		}
+	})
+	for pg := 0; pg < procs; pg++ {
+		home := c.homeOf(pg)
+		ps := c.nodes[home].pages[base/mem.PageSize+pg]
+		if ps.myLastWN == nil {
+			t.Fatalf("home %d never wrote page %d", home, pg)
+		}
+		if !ps.myLastWN.Int.VC.Leq(ps.applied) {
+			t.Errorf("home %d applied %v does not dominate its own write notice %v",
+				home, ps.applied, ps.myLastWN.Int.VC)
+		}
+	}
 }
 
 // TestHLRCFalseSharingFlush: concurrent writers of one page flush disjoint

@@ -144,6 +144,23 @@ type hlrcAck struct{}
 
 func (hlrcAck) Size() int { return 8 }
 
+// --- home binding (first-touch home policy) ---
+
+// homeBindReq asks the directory (the allocator, node 0) for a page's
+// home, binding it to the requester if it has none yet.
+type homeBindReq struct {
+	Page int
+}
+
+func (homeBindReq) Size() int { return 12 }
+
+// homeBindResp carries the agreed binding.
+type homeBindResp struct {
+	Home int
+}
+
+func (homeBindResp) Size() int { return 12 }
+
 // --- locks ---
 
 // acqReq asks the lock's static manager for the lock. KnownTS is the

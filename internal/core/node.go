@@ -128,13 +128,13 @@ func newNode(c *Cluster, id int) *Node {
 		lastGlobal:   make([]int32, c.params.Procs),
 	}
 	for i := range n.pages {
-		ps := &pageState{
+		// Generic fields only; policy.InitPage runs at Run start (after
+		// allocation, when the home policy knows the data layout).
+		n.pages[i] = &pageState{
 			applied:        vc.New(c.params.Procs),
 			perceivedOwner: 0, // pages are allocated (and initially owned) by node 0
 			copysetFS:      nil,
 		}
-		c.policy.InitPage(c, id, i, ps)
-		n.pages[i] = ps
 	}
 	return n
 }

@@ -242,13 +242,13 @@ func (n *Node) serveOwnership(c *sim.Call, from int, m ownReq) {
 
 // --- pure single-writer protocol ---
 
-// writeFaultSW requests ownership through the page's static home. The home
-// forwards to the current owner; ownership and the page contents migrate
-// to the requester (2 or 3 messages depending on whether the home is the
-// owner).
+// writeFaultSW requests ownership through the page's home (assigned by
+// the cluster's home policy). The home forwards to the current owner;
+// ownership and the page contents migrate to the requester (2 or 3
+// messages depending on whether the home is the owner).
 func (n *Node) writeFaultSW(pg int, ps *pageState) {
 	n.Stats.OwnReqs++
-	home := n.c.homeOf(pg)
+	home := n.resolveHome(pg)
 	ps.swWaiting = true
 	resp := n.c.net.Call(n.proc, home, swOwnReq{Page: pg}).(swOwnGrant)
 	n.Stats.PageFetches++

@@ -23,10 +23,14 @@ type Matrix struct {
 	// (Figure 2, Table 4, the JSON report). Empty means every registered
 	// protocol.
 	Protos []adsm.Protocol
+	// Home selects the home-assignment policy used by every cell (zero
+	// value: static, the paper's layout). The home sweep varies it per
+	// cell independently of this default.
+	Home adsm.HomePolicy
 
 	mu  sync.Mutex
 	seq map[string]*runResult
-	par map[string]map[adsm.Protocol]*runResult
+	par map[string]*runResult
 }
 
 type runResult struct {
@@ -41,7 +45,7 @@ func NewMatrix(quick bool) *Matrix {
 		Quick: quick,
 		Procs: 8,
 		seq:   make(map[string]*runResult),
-		par:   make(map[string]map[adsm.Protocol]*runResult),
+		par:   make(map[string]*runResult),
 	}
 }
 
@@ -75,7 +79,7 @@ func (m *Matrix) run(name string, procs int, proto adsm.Protocol, mutate func(*a
 	if err != nil {
 		panic(err)
 	}
-	cfg := adsm.Config{Procs: procs, Protocol: proto}
+	cfg := adsm.Config{Procs: procs, Protocol: proto, HomePolicy: m.Home}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -101,28 +105,32 @@ func (m *Matrix) Sequential(name string) *adsm.Report {
 }
 
 // Parallel returns (caching) the Procs-processor run of an app under a
-// protocol, verifying its checksum against the sequential execution.
+// protocol with the matrix's default home policy, verifying its checksum
+// against the sequential execution.
 func (m *Matrix) Parallel(name string, proto adsm.Protocol) *adsm.Report {
+	return m.ParallelHome(name, proto, m.Home)
+}
+
+// ParallelHome returns (caching) the Procs-processor run of an app under
+// a (protocol, home policy) pair, verifying its checksum against the
+// sequential execution.
+func (m *Matrix) ParallelHome(name string, proto adsm.Protocol, home adsm.HomePolicy) *adsm.Report {
+	key := fmt.Sprintf("%s|%v|%v", name, proto, home)
 	m.mu.Lock()
-	if byProto, ok := m.par[name]; ok {
-		if r, ok := byProto[proto]; ok {
-			m.mu.Unlock()
-			return r.report
-		}
+	if r, ok := m.par[key]; ok {
+		m.mu.Unlock()
+		return r.report
 	}
 	m.mu.Unlock()
 
 	seq := m.seqResult(name)
-	r := m.run(name, m.Procs, proto, nil)
+	r := m.run(name, m.Procs, proto, adsm.WithHomePolicy(home))
 	if !closeEnough(r.checksum, seq.checksum, tolerance(name)) {
-		panic(fmt.Sprintf("harness: %s under %v: checksum %v != sequential %v",
-			name, proto, r.checksum, seq.checksum))
+		panic(fmt.Sprintf("harness: %s under %v/%v homes: checksum %v != sequential %v",
+			name, proto, home, r.checksum, seq.checksum))
 	}
 	m.mu.Lock()
-	if m.par[name] == nil {
-		m.par[name] = make(map[adsm.Protocol]*runResult)
-	}
-	m.par[name][proto] = r
+	m.par[key] = r
 	m.mu.Unlock()
 	return r.report
 }
@@ -435,6 +443,62 @@ func (m *Matrix) AblationGCLimit() []AblationResult {
 		})
 	}
 	return out
+}
+
+// homeSweepApps are the applications the home sweep measures: the banded
+// stencil codes whose flush locality the home placement directly controls.
+func homeSweepApps() []string { return []string{"SOR", "Shallow"} }
+
+// homeSweepProtos are the home-based protocols (the ones that consult the
+// home policy at all).
+func homeSweepProtos() []adsm.Protocol { return []adsm.Protocol{adsm.SW, adsm.HLRC} }
+
+// HomeSweepCell is one (app, protocol, home policy) measurement of the
+// home-placement sweep.
+type HomeSweepCell struct {
+	App    string
+	Proto  adsm.Protocol
+	Home   adsm.HomePolicy
+	Report *adsm.Report
+}
+
+// HomeSweepData runs (with caching and checksum verification) the
+// app x protocol x home-policy sweep over every registered home policy.
+func (m *Matrix) HomeSweepData() []HomeSweepCell {
+	var out []HomeSweepCell
+	for _, name := range homeSweepApps() {
+		for _, proto := range homeSweepProtos() {
+			for _, home := range adsm.HomePolicies() {
+				out = append(out, HomeSweepCell{
+					App:    name,
+					Proto:  proto,
+					Home:   home,
+					Report: m.ParallelHome(name, proto, home),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// HomeSweep renders the home-placement sweep: for each home-based
+// protocol and home policy, the virtual time, traffic, and HLRC flush
+// locality (remote flushes vs diffs retired at a local home).
+func (m *Matrix) HomeSweep() string {
+	t := &table{header: []string{"App", "Protocol", "Homes", "Time (s)", "Msgs",
+		"Data (MB)", "Flushes", "Flush (MB)", "Local diffs", "Binds"}}
+	for _, cell := range m.HomeSweepData() {
+		s := cell.Report.Stats
+		t.add(cell.App, cell.Proto.String(), cell.Home.String(),
+			seconds(cell.Report.Elapsed),
+			fmt.Sprint(s.Messages),
+			fmt.Sprintf("%.2f", cell.Report.DataMB()),
+			fmt.Sprint(s.HomeFlushes),
+			fmt.Sprintf("%.2f", float64(s.HomeFlushBytes)/(1<<20)),
+			fmt.Sprint(s.HomeLocalDiffs),
+			fmt.Sprint(s.HomeBinds))
+	}
+	return "Home sweep: flush locality under each home-assignment policy\n\n" + t.String()
 }
 
 // Ablations renders all parameter sweeps.

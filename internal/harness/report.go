@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 
+	"adsm"
 	"adsm/internal/apps"
 )
 
@@ -29,21 +30,43 @@ type BenchSeq struct {
 	VirtualUS int64  `json:"virtual_us"`
 }
 
-// BenchReport is the full matrix measurement.
+// BenchHomeCell is one (application, protocol, home policy) measurement
+// of the home-placement sweep, carrying the flush-locality counters.
+type BenchHomeCell struct {
+	App            string `json:"app"`
+	Protocol       string `json:"protocol"`
+	Home           string `json:"home"`
+	VirtualUS      int64  `json:"virtual_us"`
+	Messages       int64  `json:"messages"`
+	DataBytes      int64  `json:"data_bytes"`
+	HomeFlushes    int64  `json:"home_flushes"`
+	HomeFlushBytes int64  `json:"home_flush_bytes"`
+	HomeLocalDiffs int64  `json:"home_local_diffs"`
+	HomeBinds      int64  `json:"home_binds"`
+}
+
+// BenchReport is the full matrix measurement. Home records the default
+// home policy the main Cells ran under (the home sweep in HomeCells
+// varies it per cell); comparison tools use it to reject apples-to-
+// oranges diffs.
 type BenchReport struct {
-	Procs      int         `json:"procs"`
-	Quick      bool        `json:"quick"`
-	Protocols  []string    `json:"protocols"`
-	Sequential []BenchSeq  `json:"sequential"`
-	Cells      []BenchCell `json:"cells"`
+	Procs      int             `json:"procs"`
+	Quick      bool            `json:"quick"`
+	Home       string          `json:"home"`
+	Protocols  []string        `json:"protocols"`
+	Homes      []string        `json:"homes"`
+	Sequential []BenchSeq      `json:"sequential"`
+	Cells      []BenchCell     `json:"cells"`
+	HomeCells  []BenchHomeCell `json:"home_cells"`
 }
 
 // BenchReport runs (or reuses) the matrix and assembles the report.
 func (m *Matrix) BenchReport() BenchReport {
-	r := BenchReport{Procs: m.Procs, Quick: m.Quick}
+	r := BenchReport{Procs: m.Procs, Quick: m.Quick, Home: m.Home.String()}
 	for _, proto := range m.protocols() {
 		r.Protocols = append(r.Protocols, proto.String())
 	}
+	r.Homes = adsm.HomePolicyNames()
 	for _, e := range apps.Registry {
 		seq := m.Sequential(e.Name)
 		r.Sequential = append(r.Sequential, BenchSeq{
@@ -63,6 +86,21 @@ func (m *Matrix) BenchReport() BenchReport {
 				TwinDiffB: rep.Stats.TwinBytes + rep.Stats.DiffBytes,
 			})
 		}
+	}
+	for _, cell := range m.HomeSweepData() {
+		s := cell.Report.Stats
+		r.HomeCells = append(r.HomeCells, BenchHomeCell{
+			App:            cell.App,
+			Protocol:       cell.Proto.String(),
+			Home:           cell.Home.String(),
+			VirtualUS:      cell.Report.Elapsed.Microseconds(),
+			Messages:       s.Messages,
+			DataBytes:      s.DataBytes,
+			HomeFlushes:    s.HomeFlushes,
+			HomeFlushBytes: s.HomeFlushBytes,
+			HomeLocalDiffs: s.HomeLocalDiffs,
+			HomeBinds:      s.HomeBinds,
+		})
 	}
 	return r
 }

@@ -37,6 +37,13 @@ type Node struct {
 	// Adaptation events.
 	SWtoMW int64
 	MWtoSW int64
+
+	// Home-based protocols: flush locality (HLRC) and home agreement
+	// traffic (first-touch binding RPCs).
+	HomeFlushes    int64 // hlrcFlush messages sent to remote homes
+	HomeFlushBytes int64 // payload bytes of those flushes
+	HomeLocalDiffs int64 // diffs retired locally because the writer was the home
+	HomeBinds      int64 // first-touch home agreement requests issued
 }
 
 // NoteLive updates the high-water mark after a change to the live pools.
@@ -68,6 +75,10 @@ func (s *Node) Add(o *Node) {
 	s.Barriers += o.Barriers
 	s.SWtoMW += o.SWtoMW
 	s.MWtoSW += o.MWtoSW
+	s.HomeFlushes += o.HomeFlushes
+	s.HomeFlushBytes += o.HomeFlushBytes
+	s.HomeLocalDiffs += o.HomeLocalDiffs
+	s.HomeBinds += o.HomeBinds
 }
 
 // Sum aggregates a slice of per-node stats into one total.
