@@ -212,6 +212,11 @@ type Config struct {
 	// CollectDiffTimeline records the cluster-wide live-diff count over
 	// time (the paper's Figure 3).
 	CollectDiffTimeline bool
+	// Transport selects the substrate carrying the protocol messages
+	// (default SimTransport, the deterministic simulator).
+	Transport Transport
+	// TCP tunes the TCP transport (ignored under SimTransport).
+	TCP TCPConfig
 }
 
 // Cluster is a simulated DSM machine. Allocate shared memory with Alloc,
@@ -221,6 +226,24 @@ type Cluster struct {
 	cfg    Config
 	series *stats.Series
 	ran    bool
+}
+
+// NewClusterErr builds a cluster from cfg, returning transport
+// construction failures (an unreachable peer mesh, a bad listen address, a
+// peer running a different configuration) as an error instead of a panic.
+// Prefer it whenever cfg selects a real transport. Panics that are not
+// transport failures (engine bugs) propagate unchanged, stack and all.
+func NewClusterErr(cfg Config) (cl *Cluster, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			te, ok := r.(transportError)
+			if !ok {
+				panic(r)
+			}
+			cl, err = nil, te.err
+		}
+	}()
+	return NewCluster(cfg), nil
 }
 
 // NewCluster builds a cluster from cfg.
@@ -243,6 +266,7 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.OwnershipQuantum > 0 {
 		p.OwnershipQuantum = sim.Time(cfg.OwnershipQuantum)
 	}
+	p.Runtime = cfg.runtimeFactory()
 	cl := &Cluster{c: core.New(p), cfg: cfg}
 	if cfg.CollectDiffTimeline {
 		cl.series = &stats.Series{Name: "live-diffs"}
@@ -273,6 +297,12 @@ func (cl *Cluster) AllocPageAligned(n int) Addr {
 	return cl.c.AllocPageAligned(n)
 }
 
+// Hosts reports whether this cluster instance executes node id's body
+// (always true under the simulator; under a multi-process transport only
+// for the locally hosted nodes — node 0 is the one whose body computes
+// application checksums).
+func (cl *Cluster) Hosts(id int) bool { return cl.c.Hosts(id) }
+
 // Run executes program on every processor and returns the report. A
 // cluster can run only once.
 func (cl *Cluster) Run(program func(w *Worker)) (*Report, error) {
@@ -294,13 +324,15 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 	tot := cl.c.Totals()
 	ch := cl.c.Detector().Characteristics((cl.c.Allocated() + PageSize - 1) / PageSize)
 	r := &Report{
-		Protocol: cl.cfg.Protocol,
-		Home:     cl.cfg.HomePolicy,
-		Procs:    cl.cfg.Procs,
-		Elapsed:  elapsed.Duration(),
+		Protocol:  cl.cfg.Protocol,
+		Home:      cl.cfg.HomePolicy,
+		Procs:     cl.cfg.Procs,
+		Transport: cl.cfg.Transport,
+		Partial:   cl.c.Partial(),
+		Elapsed:   elapsed.Duration(),
 		Stats: Stats{
-			Messages:          cl.c.Net().TotalMsgs(),
-			DataBytes:         cl.c.Net().TotalBytes(),
+			Messages:          cl.c.Transport().TotalMsgs(),
+			DataBytes:         cl.c.Transport().TotalBytes(),
 			ReadFaults:        tot.ReadFaults,
 			WriteFaults:       tot.WriteFaults,
 			PageFetches:       tot.PageFetches,
@@ -390,11 +422,16 @@ type TimelinePoint struct {
 	LiveDiffs int64
 }
 
-// Report is the result of one cluster execution.
+// Report is the result of one cluster execution. Under SimTransport,
+// Elapsed is deterministic virtual time; under a real transport it is
+// wall-clock time. A Partial report comes from one endpoint of a
+// multi-process run and covers that process's nodes only.
 type Report struct {
 	Protocol     Protocol
 	Home         HomePolicy
 	Procs        int
+	Transport    Transport
+	Partial      bool
 	Elapsed      time.Duration
 	Stats        Stats
 	Sharing      Sharing

@@ -9,6 +9,9 @@
 // -all is given) and exits 1 if any metric regressed, 0 otherwise. Cells
 // present in only one file are reported but never fail the run (the
 // matrix legitimately grows as protocols and home policies are added).
+// Setting ALLOW_PERF_REGRESSION in the environment downgrades a failing
+// comparison to a warning (exit 0) — the escape hatch for deliberate,
+// explained regressions now that CI blocks on this check.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"adsm/internal/harness"
 )
@@ -139,6 +143,10 @@ func main() {
 	}
 	if regressions > 0 {
 		fmt.Printf("\n%d cell(s) regressed more than %.1f%%\n", regressions, *threshold)
+		if v := strings.ToLower(os.Getenv("ALLOW_PERF_REGRESSION")); v != "" && v != "0" && v != "false" {
+			fmt.Println("ALLOW_PERF_REGRESSION is set: reporting the regression but exiting 0")
+			return
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("no regressions over %.1f%% across %d compared cell(s)\n", *threshold, len(cells))

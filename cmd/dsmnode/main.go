@@ -1,0 +1,115 @@
+// Command dsmnode is one peer endpoint of a multi-process DSM run over
+// the TCP transport: it hosts one node (or several) of the cluster,
+// executes the same SPMD application body as everyone else, serves its
+// share of pages, diffs, locks and barriers over the wire, and exits when
+// the whole cluster is done.
+//
+// Every participant — the dsmnode peers and the coordinating
+// `dsmrun -transport tcp` — must be started with the same application,
+// protocol, processor count and address list; the transport blocks until
+// the full mesh is connected. Example 3-process run:
+//
+//	dsmnode -id 1 -addrs 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703 \
+//	        -app SOR -quick -protocol HLRC -procs 3 &
+//	dsmnode -id 2 -addrs 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703 \
+//	        -app SOR -quick -protocol HLRC -procs 3 &
+//	dsmrun -transport tcp -tcp-addrs 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703 \
+//	        -app SOR -quick -protocol HLRC -procs 3
+//
+// Garbage-collecting runs (MW under memory pressure) need every node in
+// one process; multi-process runs should use HLRC or a DiffSpaceLimit
+// large enough never to trigger a collection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"adsm"
+	"adsm/internal/apps"
+)
+
+func main() {
+	id := flag.Int("id", -1, "node id hosted by this process")
+	local := flag.String("local", "", "comma-separated node ids to host (overrides -id)")
+	addrs := flag.String("addrs", "", "comma-separated per-node listen addresses (required)")
+	appName := flag.String("app", "SOR", "application (must match every peer)")
+	protoName := flag.String("protocol", "WFS",
+		"protocol ("+strings.Join(adsm.ProtocolNames(), ", ")+"; must match every peer)")
+	homeName := flag.String("home", "static",
+		"home-assignment policy (must match every peer)")
+	procs := flag.Int("procs", 8, "number of processors (must match every peer)")
+	quick := flag.Bool("quick", false, "use reduced inputs (must match every peer)")
+	timescale := flag.Float64("timescale", 0, "scale modelled compute costs into real sleeps")
+	dialTimeout := flag.Duration("dial-timeout", 20*time.Second, "how long to wait for the peer mesh")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dsmnode:", err)
+		os.Exit(1)
+	}
+
+	var hosted []int
+	if *local != "" {
+		for _, f := range strings.Split(*local, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fail(fmt.Errorf("bad -local: %w", err))
+			}
+			hosted = append(hosted, v)
+		}
+	} else if *id >= 0 {
+		hosted = []int{*id}
+	} else {
+		fail(fmt.Errorf("need -id or -local"))
+	}
+	if *addrs == "" {
+		fail(fmt.Errorf("need -addrs (one listen address per node)"))
+	}
+
+	proto, err := adsm.ParseProtocol(*protoName)
+	if err != nil {
+		fail(err)
+	}
+	home, err := adsm.ParseHomePolicy(*homeName)
+	if err != nil {
+		fail(err)
+	}
+	app, err := apps.New(*appName, *quick)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := adsm.Config{
+		Procs:      *procs,
+		Protocol:   proto,
+		HomePolicy: home,
+		Transport:  adsm.TCPTransport,
+		TCP: adsm.TCPConfig{
+			Addrs:       strings.Split(*addrs, ","),
+			Local:       hosted,
+			Timescale:   *timescale,
+			DialTimeout: *dialTimeout,
+			Fingerprint: adsm.RunFingerprint(*appName, proto, home, *procs, *quick),
+		},
+	}
+
+	cl, err := adsm.NewClusterErr(cfg)
+	if err != nil {
+		fail(err)
+	}
+	app.Setup(cl)
+	rep, err := cl.Run(app.Body)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dsmnode: nodes %v done: %s under %v, %d msgs sent, %d bytes, %v wall\n",
+		hosted, app.Name(), proto, rep.Stats.Messages, rep.Stats.DataBytes, rep.Elapsed)
+	if cl.Hosts(0) {
+		fmt.Printf("  checksum             %v\n", app.Result())
+	}
+}

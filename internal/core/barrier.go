@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 )
 
 // Barriers: centralized at node 0 (the manager). Arrivals carry each
@@ -16,7 +16,7 @@ import (
 type barrierMgr struct {
 	epoch    int64
 	arrived  int
-	calls    []*sim.Call
+	calls    []transport.Call
 	knows    [][]int32
 	pressure bool
 	gcRound  bool // current round is the GC mini-barrier (no nested GC)
@@ -33,16 +33,20 @@ func (n *Node) Barrier() {
 }
 
 // barrierRound performs one arrive/release exchange. The GC mini-barrier
-// reuses the same machinery with gcRound set.
+// reuses the same machinery with gcRound set. The epoch in the arrival is
+// the node's OWN barrier count (not the manager's record, which lives in
+// another process under a multi-process transport); the two agree by
+// construction and the manager enforces it.
 func (n *Node) barrierRound(gcRound bool) {
 	mine := n.intervalsSince(n.lastGlobal)
-	resp := n.c.net.Call(n.proc, 0, barArrive{
-		Epoch:       n.c.bar.epoch,
+	resp := n.c.rt.Call(n.proc, 0, barArrive{
+		Epoch:       n.barEpoch,
 		KnownTS:     append([]int32(nil), n.knownTS...),
 		Intervals:   mine,
 		MemPressure: !gcRound && n.c.policy.MemPressure(n),
 		nprocs:      n.c.params.Procs,
 	}).(barRelease)
+	n.barEpoch++
 	n.ingestIntervals(resp.Intervals)
 	n.vclock.Join(resp.Global)
 	copy(n.lastGlobal, resp.Global)
@@ -74,7 +78,7 @@ func dominatingWN(wns []*WriteNotice) *WriteNotice {
 }
 
 // serveBarrier runs at the manager (handler context).
-func (n *Node) serveBarrier(c *sim.Call, from int, m barArrive) {
+func (n *Node) serveBarrier(c transport.Call, from int, m barArrive) {
 	b := &n.c.bar
 	if m.Epoch != b.epoch {
 		panic(fmt.Sprintf("dsm: barrier epoch mismatch: arrival %d at epoch %d", m.Epoch, b.epoch))
@@ -96,6 +100,15 @@ func (n *Node) serveBarrier(c *sim.Call, from int, m barArrive) {
 	doGC := b.pressure && !b.gcRound
 	var hints []gcHint
 	if doGC {
+		if n.c.Partial() {
+			// The hint scan reads every node's page state, which only
+			// exists in a single-process deployment (sim or in-process
+			// tcp). Multi-process runs must use a protocol that never
+			// collects (HLRC) or a DiffSpaceLimit large enough not to
+			// trigger; a distributed hint exchange is a ROADMAP follow-on.
+			panic("dsm: garbage collection is not supported on a multi-process transport " +
+				"(use HLRC or raise DiffSpaceLimit)")
+		}
 		hints = n.c.computeGCHints()
 		n.c.gcRuns++
 	}
@@ -104,9 +117,6 @@ func (n *Node) serveBarrier(c *sim.Call, from int, m barArrive) {
 	b.arrived, b.calls, b.knows, b.pressure = 0, nil, nil, false
 	b.epoch++
 	b.gcRound = doGC
-	if !doGC {
-		b.gcRound = false
-	}
 	for i, cc := range calls {
 		cc.Reply(barRelease{
 			Intervals: n.intervalsSince(knows[i]),

@@ -4,19 +4,21 @@ import (
 	"fmt"
 
 	"adsm/internal/mem"
-	"adsm/internal/sim"
 	"adsm/internal/stats"
+	"adsm/internal/transport"
 )
 
-// Cluster is a simulated DSM system: Procs nodes, a network, and the
-// shared segment. Create one with New, allocate shared memory with Alloc,
-// then Run the SPMD program.
+// Cluster is a DSM system: Procs nodes, a transport moving the protocol
+// messages, and the shared segment. Create one with New, allocate shared
+// memory with Alloc, then Run the SPMD program. The transport substrate —
+// the deterministic simulator or a real runtime — is chosen by
+// Params.Runtime; protocol code only ever sees the transport seam.
 type Cluster struct {
 	params Params
 	policy Policy
 	homes  HomeAssigner
-	eng    *sim.Engine
-	net    *sim.Net
+	rt     transport.Runtime
+	local  []int // node ids hosted by this runtime instance
 	nodes  []*Node
 
 	npages    int
@@ -49,21 +51,29 @@ func New(p Params) *Cluster {
 		params:   p,
 		policy:   p.Protocol.newPolicy(),
 		homes:    p.Home.newAssigner(),
-		eng:      sim.NewEngine(),
-		net:      nil,
 		npages:   npages,
 		locks:    make(map[int]*mgrLock),
 		detector: newDetector(p.Procs, npages),
 	}
-	c.eng.MaxEvents = p.EventLimit
-	c.net = sim.NewNet(c.eng, p.Procs, p.Net)
+	if p.Runtime != nil {
+		c.rt = p.Runtime(p)
+	} else {
+		if transport.DefaultRuntime == nil {
+			panic("dsm: no transport runtime configured and no default registered (import adsm/internal/sim)")
+		}
+		c.rt = transport.DefaultRuntime(p.Procs, p.Net, p.EventLimit)
+	}
+	c.local = c.rt.LocalNodes()
+	// Node state exists for every node (handlers route by id and the
+	// single-process GC scan reads it), but only hosted nodes register
+	// handlers, get their pages initialized, and execute bodies.
 	for i := 0; i < p.Procs; i++ {
 		c.nodes = append(c.nodes, newNode(c, i))
 	}
-	for i := 0; i < p.Procs; i++ {
-		i := i
-		c.net.Register(i, func(call *sim.Call, from int, m sim.Msg) {
-			c.nodes[i].handle(call, from, m)
+	for _, i := range c.local {
+		n := c.nodes[i]
+		c.rt.Register(i, func(call transport.Call, from int, m transport.Msg) {
+			n.handle(call, from, m)
 		})
 	}
 	return c
@@ -72,11 +82,27 @@ func New(p Params) *Cluster {
 // Params returns the cluster's configuration.
 func (c *Cluster) Params() Params { return c.params }
 
-// Engine exposes the simulation engine (for time queries in tests).
-func (c *Cluster) Engine() *sim.Engine { return c.eng }
+// Transport exposes the transport runtime (for traffic accounting and
+// time queries).
+func (c *Cluster) Transport() transport.Runtime { return c.rt }
 
-// Net exposes the network (for traffic accounting).
-func (c *Cluster) Net() *sim.Net { return c.net }
+// Net is a legacy alias for Transport.
+func (c *Cluster) Net() transport.Runtime { return c.rt }
+
+// Partial reports whether this cluster instance hosts only a subset of the
+// nodes (one endpoint of a multi-process deployment). Statistics and
+// checksums of a partial cluster cover the hosted nodes only.
+func (c *Cluster) Partial() bool { return len(c.local) < c.params.Procs }
+
+// Hosts reports whether node id's body executes in this cluster instance.
+func (c *Cluster) Hosts(id int) bool {
+	for _, l := range c.local {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
@@ -138,33 +164,34 @@ func (c *Cluster) AllocPageAligned(n int) int {
 // completion. Page state is initialized here — after every allocation, so
 // allocation-aware home policies see the final data layout — rather than
 // at construction.
-func (c *Cluster) Run(body func(n *Node)) (sim.Time, error) {
+func (c *Cluster) Run(body func(n *Node)) (transport.Time, error) {
 	if c.started {
 		panic("dsm: cluster already ran")
 	}
 	c.started = true
 	c.homes.Prepare(c)
-	for _, n := range c.nodes {
+	for _, i := range c.local {
+		n := c.nodes[i]
 		for pg, ps := range n.pages {
 			c.policy.InitPage(c, n.id, pg, ps)
 		}
 	}
-	for i := 0; i < c.params.Procs; i++ {
+	for _, i := range c.local {
 		n := c.nodes[i]
-		c.eng.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
+		c.rt.Spawn(i, fmt.Sprintf("node%d", i), func(p transport.Proc) {
 			n.proc = p
 			body(n)
 		})
 	}
-	if err := c.eng.Run(); err != nil {
-		return c.eng.Now(), err
+	if err := c.rt.Run(); err != nil {
+		return c.rt.Now(), err
 	}
-	return c.eng.Now(), nil
+	return c.rt.Now(), nil
 }
 
 // handle dispatches an incoming protocol message (handler context; must
 // not block).
-func (n *Node) handle(call *sim.Call, from int, m sim.Msg) {
+func (n *Node) handle(call transport.Call, from int, m transport.Msg) {
 	switch msg := m.(type) {
 	case pageReq:
 		n.servePage(call, from, msg)
@@ -193,7 +220,7 @@ func (n *Node) handle(call *sim.Call, from int, m sim.Msg) {
 func (c *Cluster) noteDiffCount(delta int64) {
 	c.totalLiveDiffs += delta
 	if c.DiffSeries != nil {
-		c.DiffSeries.Append(int64(c.eng.Now()), c.totalLiveDiffs)
+		c.DiffSeries.Append(int64(c.rt.Now()), c.totalLiveDiffs)
 	}
 }
 

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"adsm/internal/mem"
+	"adsm/internal/transport"
+	"adsm/internal/vc"
+)
+
+// Wire encodings for every protocol message, registered with the transport
+// codec registry so real transports (internal/transport/tcp) can carry
+// them as gob frames. Most messages are plain structs with exported fields
+// and act as their own wire form; the exceptions are:
+//
+//   - diffReq/diffResp, whose wnKey has unexported fields,
+//   - acqGrant/barArrive/barRelease, which carry []*Interval — the
+//     intervals' write notices point back at their interval, a cycle gob
+//     cannot encode, so they flatten to wireInterval/wireWN and are
+//     reconstructed (with the back-pointers) on decode.
+//
+// The simulator passes messages by reference and never touches these; the
+// sim/tcp equivalence harness is what pins the two paths to each other.
+
+// wireKey is the exported form of wnKey.
+type wireKey struct {
+	Page int
+	Proc int
+	TS   int32
+}
+
+func toWireKeys(ks []wnKey) []wireKey {
+	out := make([]wireKey, len(ks))
+	for i, k := range ks {
+		out[i] = wireKey{Page: k.page, Proc: k.proc, TS: k.ts}
+	}
+	return out
+}
+
+func fromWireKeys(ws []wireKey) []wnKey {
+	out := make([]wnKey, len(ws))
+	for i, w := range ws {
+		out[i] = wnKey{page: w.Page, proc: w.Proc, ts: w.TS}
+	}
+	return out
+}
+
+// wireWN is one write notice, flattened (its interval is the enclosing
+// wireInterval).
+type wireWN struct {
+	Page     int
+	Owner    bool
+	Version  int32
+	DataHint int
+}
+
+// wireInterval is one interval with its write notices, acyclic.
+type wireInterval struct {
+	Proc int
+	TS   int32
+	VC   []int32
+	WNs  []wireWN
+}
+
+func toWireIntervals(ivs []*Interval) []wireInterval {
+	out := make([]wireInterval, len(ivs))
+	for i, iv := range ivs {
+		w := wireInterval{Proc: iv.Proc, TS: iv.TS, VC: iv.VC, WNs: make([]wireWN, len(iv.WNs))}
+		for j, wn := range iv.WNs {
+			w.WNs[j] = wireWN{Page: wn.Page, Owner: wn.Owner, Version: wn.Version, DataHint: wn.DataHint}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func fromWireIntervals(ws []wireInterval) []*Interval {
+	out := make([]*Interval, len(ws))
+	for i, w := range ws {
+		iv := &Interval{Proc: w.Proc, TS: w.TS, VC: vc.VC(w.VC)}
+		iv.WNs = make([]*WriteNotice, len(w.WNs))
+		for j, wn := range w.WNs {
+			iv.WNs[j] = &WriteNotice{Page: wn.Page, Int: iv, Owner: wn.Owner,
+				Version: wn.Version, DataHint: wn.DataHint}
+		}
+		out[i] = iv
+	}
+	return out
+}
+
+type wireDiffReq struct {
+	Page   int
+	Wants  []wireKey
+	SeesFS bool
+}
+
+type wireDiffResp struct {
+	Diffs []*mem.Diff
+	Keys  []wireKey
+}
+
+type wireAcqGrant struct {
+	Intervals []wireInterval
+	VC        []int32
+	NProcs    int
+}
+
+type wireBarArrive struct {
+	Epoch       int64
+	KnownTS     []int32
+	Intervals   []wireInterval
+	MemPressure bool
+	NProcs      int
+}
+
+type wireBarRelease struct {
+	Intervals []wireInterval
+	Global    []int32
+	GC        bool
+	Hints     []gcHint
+	NProcs    int
+}
+
+func init() {
+	self := func(name string, m transport.Msg) {
+		transport.MustRegisterCodec(transport.Codec{Name: name, Msg: m})
+	}
+	self("pageReq", pageReq{})
+	self("pageResp", pageResp{})
+	self("ownReq", ownReq{})
+	self("ownResp", ownResp{})
+	self("swOwnReq", swOwnReq{})
+	self("swOwnGrant", swOwnGrant{})
+	self("hlrcFlush", hlrcFlush{})
+	self("hlrcAck", hlrcAck{})
+	self("homeBindReq", homeBindReq{})
+	self("homeBindResp", homeBindResp{})
+	self("acqReq", acqReq{})
+	self("acqFwd", acqFwd{})
+
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "diffReq", Msg: diffReq{}, Wire: wireDiffReq{},
+		Encode: func(m transport.Msg) any {
+			r := m.(diffReq)
+			return wireDiffReq{Page: r.Page, Wants: toWireKeys(r.Wants), SeesFS: r.SeesFS}
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireDiffReq)
+			return diffReq{Page: w.Page, Wants: fromWireKeys(w.Wants), SeesFS: w.SeesFS}
+		},
+	})
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "diffResp", Msg: diffResp{}, Wire: wireDiffResp{},
+		Encode: func(m transport.Msg) any {
+			r := m.(diffResp)
+			return wireDiffResp{Diffs: r.Diffs, Keys: toWireKeys(r.Keys)}
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireDiffResp)
+			return diffResp{Diffs: w.Diffs, Keys: fromWireKeys(w.Keys)}
+		},
+	})
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "acqGrant", Msg: acqGrant{}, Wire: wireAcqGrant{},
+		Encode: func(m transport.Msg) any {
+			r := m.(acqGrant)
+			return wireAcqGrant{Intervals: toWireIntervals(r.Intervals), VC: r.VC, NProcs: r.nprocs}
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireAcqGrant)
+			return acqGrant{Intervals: fromWireIntervals(w.Intervals), VC: vc.VC(w.VC), nprocs: w.NProcs}
+		},
+	})
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "barArrive", Msg: barArrive{}, Wire: wireBarArrive{},
+		Encode: func(m transport.Msg) any {
+			r := m.(barArrive)
+			return wireBarArrive{Epoch: r.Epoch, KnownTS: r.KnownTS,
+				Intervals: toWireIntervals(r.Intervals), MemPressure: r.MemPressure, NProcs: r.nprocs}
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireBarArrive)
+			return barArrive{Epoch: w.Epoch, KnownTS: w.KnownTS,
+				Intervals: fromWireIntervals(w.Intervals), MemPressure: w.MemPressure, nprocs: w.NProcs}
+		},
+	})
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "barRelease", Msg: barRelease{}, Wire: wireBarRelease{},
+		Encode: func(m transport.Msg) any {
+			r := m.(barRelease)
+			return wireBarRelease{Intervals: toWireIntervals(r.Intervals), Global: r.Global,
+				GC: r.GC, Hints: r.Hints, NProcs: r.nprocs}
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireBarRelease)
+			return barRelease{Intervals: fromWireIntervals(w.Intervals), Global: w.Global,
+				GC: w.GC, Hints: w.Hints, nprocs: w.NProcs}
+		},
+	})
+}

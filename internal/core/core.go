@@ -18,7 +18,7 @@ package core
 
 import (
 	"adsm/internal/mem"
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 )
 
 // Protocol identifies a registered DSM protocol (an index into the
@@ -46,18 +46,24 @@ type Params struct {
 	// Home selects the home-assignment policy for the home-based
 	// protocols (zero value: static pg % procs).
 	Home Home
-	Net  sim.NetParams
+	// Net is the simulated network cost model (used by the simulator
+	// transport; real transports have real costs).
+	Net transport.NetParams
+	// Runtime builds the transport runtime carrying the cluster's
+	// messages. Nil selects the default (the deterministic simulator,
+	// registered by internal/sim at init time).
+	Runtime RuntimeFactory
 
 	// CostTwin is the time to copy a page into a twin (104 us).
-	CostTwin sim.Time
+	CostTwin transport.Time
 	// CostDiffPage is the time to create a diff by scanning a full page
 	// (179 us); diffs of partial pages are pro-rated.
-	CostDiffPage sim.Time
+	CostDiffPage transport.Time
 	// CostDiffApply is the base time to apply one diff.
-	CostDiffApply sim.Time
+	CostDiffApply transport.Time
 	// OwnershipQuantum guarantees a new SW owner the page for this long
 	// before it can be taken away (1 ms; pure SW protocol only).
-	OwnershipQuantum sim.Time
+	OwnershipQuantum transport.Time
 	// DiffSpaceLimit is the per-node twin+diff pool size that triggers
 	// garbage collection at the next barrier (1 MB).
 	DiffSpaceLimit int64
@@ -70,17 +76,22 @@ type Params struct {
 	EventLimit uint64
 }
 
+// RuntimeFactory builds a transport runtime for a cluster. Factories that
+// cannot construct their runtime (e.g. a TCP endpoint that cannot bind or
+// reach its peers) panic with a descriptive error.
+type RuntimeFactory func(p Params) transport.Runtime
+
 // DefaultParams returns the paper's configuration for the given number of
 // processors.
 func DefaultParams(procs int) Params {
 	return Params{
 		Procs:            procs,
 		Protocol:         MW,
-		Net:              sim.DefaultNetParams(),
-		CostTwin:         104 * sim.Microsecond,
-		CostDiffPage:     179 * sim.Microsecond,
-		CostDiffApply:    15 * sim.Microsecond,
-		OwnershipQuantum: 1 * sim.Millisecond,
+		Net:              transport.DefaultNetParams(),
+		CostTwin:         104 * transport.Microsecond,
+		CostDiffPage:     179 * transport.Microsecond,
+		CostDiffApply:    15 * transport.Microsecond,
+		OwnershipQuantum: 1 * transport.Millisecond,
 		DiffSpaceLimit:   1 << 20,
 		WGThreshold:      3 * 1024,
 		MaxSharedBytes:   64 << 20,
@@ -90,13 +101,13 @@ func DefaultParams(procs int) Params {
 
 // diffCost models the time to create a diff: the page must be scanned in
 // full (CostDiffPage) plus a small amount proportional to the data copied.
-func (p *Params) diffCost(d *mem.Diff) sim.Time {
-	return p.CostDiffPage + sim.Time(d.DataBytes())*20 // ~20ns/byte encode
+func (p *Params) diffCost(d *mem.Diff) transport.Time {
+	return p.CostDiffPage + transport.Time(d.DataBytes())*20 // ~20ns/byte encode
 }
 
 // applyCost models the time to apply a diff at the receiver.
-func (p *Params) applyCost(d *mem.Diff) sim.Time {
-	return p.CostDiffApply + sim.Time(d.DataBytes())*10
+func (p *Params) applyCost(d *mem.Diff) transport.Time {
+	return p.CostDiffApply + transport.Time(d.DataBytes())*10
 }
 
 type pageStatus uint8

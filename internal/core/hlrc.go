@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"adsm/internal/mem"
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 )
 
 // HLRC: home-based lazy release consistency (after Zhou, Iftode & Li,
@@ -124,16 +124,16 @@ func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval) {
 		flushed = append(flushed, keyOf(wn))
 	}
 	if len(perHome) > 0 {
-		var targets []sim.Target
+		var targets []transport.Target
 		for p := 0; p < n.c.params.Procs; p++ {
 			if es, ok := perHome[p]; ok {
 				m := hlrcFlush{VC: iv.VC, Entries: es}
 				n.Stats.HomeFlushes++
 				n.Stats.HomeFlushBytes += int64(m.Size())
-				targets = append(targets, sim.Target{To: p, M: m})
+				targets = append(targets, transport.Target{To: p, M: m})
 			}
 		}
-		n.c.net.Multicall(n.proc, targets)
+		n.c.rt.Multicall(n.proc, targets)
 	}
 	// Every home has acknowledged: the diffs (and twins) are garbage.
 	for _, k := range flushed {
@@ -145,8 +145,8 @@ func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval) {
 // (handler context; the apply cost is charged as reply latency). Applying
 // to a live twin as well preserves this node's own write detection, like
 // applyDiffs does.
-func (n *Node) serveHLRCFlush(c *sim.Call, from int, m hlrcFlush) {
-	var cost sim.Time
+func (n *Node) serveHLRCFlush(c transport.Call, from int, m hlrcFlush) {
+	var cost transport.Time
 	for _, e := range m.Entries {
 		ps := n.pages[e.Page]
 		if ps.data == nil {

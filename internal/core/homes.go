@@ -6,7 +6,7 @@ import (
 	"sync"
 
 	"adsm/internal/mem"
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 )
 
 // The home-assignment seam: the home-based protocols (pure SW request
@@ -336,7 +336,7 @@ func (h *firstTouchHomes) Resolve(n *Node, pg int) int {
 		return hm
 	}
 	n.Stats.HomeBinds++
-	resp := n.c.net.Call(n.proc, homeDirNode, homeBindReq{Page: pg}).(homeBindResp)
+	resp := n.c.rt.Call(n.proc, homeDirNode, homeBindReq{Page: pg}).(homeBindResp)
 	h.cache[n.id][pg] = resp.Home
 	return resp.Home
 }
@@ -344,13 +344,13 @@ func (h *firstTouchHomes) Resolve(n *Node, pg int) int {
 // homeBinder is implemented by assigners that service homeBindReq
 // messages (first-touch agreement).
 type homeBinder interface {
-	serveBind(n *Node, c *sim.Call, from int, m homeBindReq)
+	serveBind(n *Node, c transport.Call, from int, m homeBindReq)
 }
 
 // serveBind runs at the directory node (handler context): bind the page
 // to the first requester, answer every later request with the existing
 // binding.
-func (h *firstTouchHomes) serveBind(n *Node, c *sim.Call, from int, m homeBindReq) {
+func (h *firstTouchHomes) serveBind(n *Node, c transport.Call, from int, m homeBindReq) {
 	hm := h.dir[m.Page]
 	if hm < 0 {
 		hm = from

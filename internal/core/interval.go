@@ -36,16 +36,20 @@ func keyOf(wn *WriteNotice) wnKey {
 	return wnKey{page: wn.Page, proc: wn.Int.Proc, ts: wn.Int.TS}
 }
 
-// encoded sizes for traffic accounting
+// Encoded sizes for traffic accounting, audited against the actual wire
+// encoding (TestMsgSizeMatchesWire): varint-coded interval metadata costs
+// ~2 bytes per vector-clock entry and ~8 per write notice, not the packed
+// 4-byte/24-byte C structs the model originally charged.
 const (
-	wnWireBytes       = 24 // page, proc/ts, flags, version
-	intervalWireBytes = 16 // proc, ts + length
+	wnWireBytes       = 8  // page, flags, version, data hint
+	intervalWireBytes = 12 // proc, ts + length headers
+	vcEntryWireBytes  = 2  // varint-coded interval counter
 )
 
 func intervalsWireSize(ivs []*Interval, nprocs int) int {
 	n := 0
 	for _, iv := range ivs {
-		n += intervalWireBytes + 4*nprocs + wnWireBytes*len(iv.WNs)
+		n += intervalWireBytes + vcEntryWireBytes*nprocs + wnWireBytes*len(iv.WNs)
 	}
 	return n
 }

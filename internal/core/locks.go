@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 	"adsm/internal/vc"
 )
 
@@ -63,7 +63,7 @@ func (n *Node) Acquire(lock int) {
 
 	mgr := n.c.lockManagerOf(lock)
 	st.state = lockWaiting
-	resp := n.c.net.Call(n.proc, mgr, acqReq{Lock: lock, KnownTS: append([]int32(nil), n.knownTS...)}).(acqGrant)
+	resp := n.c.rt.Call(n.proc, mgr, acqReq{Lock: lock, KnownTS: append([]int32(nil), n.knownTS...)}).(acqGrant)
 	st.state = lockHolding
 	n.ingestIntervals(resp.Intervals)
 	n.vclock.Join(resp.VC)
@@ -99,7 +99,7 @@ var debugLockGrant func(n *Node, to int, know []int32, ivs []*Interval)
 // lacks and the vector clock of our release. (Using the release-time
 // snapshot rather than a later clock keeps concurrent writes looking
 // concurrent, which the false-sharing detection depends on.)
-func (n *Node) grantLock(c *sim.Call, requesterKnow []int32) {
+func (n *Node) grantLock(c transport.Call, requesterKnow []int32) {
 	ivs := n.intervalsSince(requesterKnow)
 	if debugLockGrant != nil {
 		debugLockGrant(n, c.Origin(), requesterKnow, ivs)
@@ -109,7 +109,7 @@ func (n *Node) grantLock(c *sim.Call, requesterKnow []int32) {
 
 // serveAcqReq runs at the lock manager: forward to the last holder (or
 // grant locally when the token is here).
-func (n *Node) serveAcqReq(c *sim.Call, from int, m acqReq) {
+func (n *Node) serveAcqReq(c transport.Call, from int, m acqReq) {
 	ml := n.c.mgrLock(m.Lock)
 	prev := ml.lastHolder
 	ml.lastHolder = c.Origin()
@@ -122,13 +122,13 @@ func (n *Node) serveAcqReq(c *sim.Call, from int, m acqReq) {
 }
 
 // serveAcqFwd runs at the last holder.
-func (n *Node) serveAcqFwd(c *sim.Call, from int, m acqFwd) {
+func (n *Node) serveAcqFwd(c transport.Call, from int, m acqFwd) {
 	n.holderHandle(c, m.Lock, m.KnownTS)
 }
 
 // holderHandle grants the lock if we have released it, or queues the
 // request for our release.
-func (n *Node) holderHandle(c *sim.Call, lock int, know []int32) {
+func (n *Node) holderHandle(c transport.Call, lock int, know []int32) {
 	st := n.lockState(lock)
 	switch st.state {
 	case lockReleased, lockNone:

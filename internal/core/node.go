@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"adsm/internal/mem"
-	"adsm/internal/sim"
 	"adsm/internal/stats"
+	"adsm/internal/transport"
 	"adsm/internal/vc"
 )
 
@@ -33,7 +33,7 @@ type pageState struct {
 	owner            bool
 	wasLast          bool // dropped ownership after a refusal/GC; still the grant authority
 	version          int32
-	ownedSince       sim.Time
+	ownedSince       transport.Time
 	wroteSW          bool // wrote as owner in the current interval
 	dropOwnership    bool // refusal received: drop ownership at next release
 	perceivedOwner   int
@@ -49,7 +49,7 @@ type pageState struct {
 
 	// Deferred ownership requests (pure SW): queued while we hold the page
 	// within its quantum, or while our own ownership request is in flight.
-	deferred  []*sim.Call
+	deferred  []transport.Call
 	swWaiting bool
 }
 
@@ -58,7 +58,7 @@ type pageState struct {
 type Node struct {
 	c    *Cluster
 	id   int
-	proc *sim.Proc
+	proc transport.Proc
 
 	vclock  vc.VC
 	knownTS []int32
@@ -75,6 +75,10 @@ type Node struct {
 	// lock state per lock id (only for locks this node has interacted with)
 	locks map[int]*nodeLock
 
+	// barEpoch counts the barrier rounds this node has completed (the
+	// epoch it stamps on its next arrival).
+	barEpoch int64
+
 	// lastGlobal is the global knowledge vector from the previous barrier
 	// release: everything at or below it is known to every node, so a
 	// barrier arrival ships every interval above it. Shipping the full
@@ -88,9 +92,9 @@ type Node struct {
 
 type nodeLock struct {
 	state    lockNodeState
-	pending  *sim.Call // queued acquire waiting for our release
-	pendKnow []int32   // its knowledge vector
-	relVC    vc.VC     // our vector clock at the last release
+	pending  transport.Call // queued acquire waiting for our release
+	pendKnow []int32        // its knowledge vector
+	relVC    vc.VC          // our vector clock at the last release
 }
 
 type lockNodeState uint8
@@ -109,10 +113,10 @@ func (n *Node) ID() int { return n.id }
 func (n *Node) Procs() int { return n.c.params.Procs }
 
 // Proc exposes the simulated process (for Compute and time queries).
-func (n *Node) Proc() *sim.Proc { return n.proc }
+func (n *Node) Proc() transport.Proc { return n.proc }
 
 // Compute models local computation taking d of virtual time.
-func (n *Node) Compute(d sim.Time) { n.proc.Advance(d) }
+func (n *Node) Compute(d transport.Time) { n.proc.Advance(d) }
 
 func newNode(c *Cluster, id int) *Node {
 	n := &Node{

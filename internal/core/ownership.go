@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 	"adsm/internal/vc"
 )
 
@@ -119,7 +119,7 @@ func (n *Node) tryOwnership(pg int, ps *pageState, resume bool) bool {
 	needPage := ps.data == nil || (best != nil && !best.Int.VC.Leq(ps.applied))
 
 	n.Stats.OwnReqs++
-	resp := n.c.net.Call(n.proc, target, ownReq{
+	resp := n.c.rt.Call(n.proc, target, ownReq{
 		Page:     pg,
 		Version:  version,
 		NeedPage: needPage,
@@ -183,7 +183,7 @@ func (n *Node) tryOwnership(pg int, ps *pageState, resume bool) bool {
 // the requester perceives and has no uncommitted single-writer writes;
 // otherwise write-write false sharing has been detected and the request is
 // refused (Section 3.1.1).
-func (n *Node) serveOwnership(c *sim.Call, from int, m ownReq) {
+func (n *Node) serveOwnership(c transport.Call, from int, m ownReq) {
 	ps := n.pages[m.Page]
 	grantable := (ps.owner || ps.wasLast) && ps.version == m.Version &&
 		!ps.wroteSW && !ps.dropOwnership
@@ -250,7 +250,7 @@ func (n *Node) writeFaultSW(pg int, ps *pageState) {
 	n.Stats.OwnReqs++
 	home := n.resolveHome(pg)
 	ps.swWaiting = true
-	resp := n.c.net.Call(n.proc, home, swOwnReq{Page: pg}).(swOwnGrant)
+	resp := n.c.rt.Call(n.proc, home, swOwnReq{Page: pg}).(swOwnGrant)
 	n.Stats.PageFetches++
 	n.installPage(pg, ps, resp.Data, resp.Applied)
 	// In the pure SW protocol every write notice is an owner write notice,
@@ -273,11 +273,12 @@ func (n *Node) writeFaultSW(pg int, ps *pageState) {
 // serveSWOwn handles a single-writer ownership request (handler context):
 // the home forwards to its recorded owner; the owner grants, respecting the
 // ownership quantum; stale nodes forward along their perceived-owner chain.
-func (n *Node) serveSWOwn(c *sim.Call, from int, m swOwnReq) {
+func (n *Node) serveSWOwn(c transport.Call, from int, m swOwnReq) {
 	ps := n.pages[m.Page]
 	if m.Hops > 64*n.c.params.Procs {
 		var dump string
-		for _, o := range n.c.nodes {
+		for _, i := range n.c.local {
+			o := n.c.nodes[i]
 			q := o.pages[m.Page]
 			dump += fmt.Sprintf("\n  node%d: owner=%v waiting=%v perceived=%d ver=%d deferred=%d",
 				o.id, q.owner, q.swWaiting, q.perceivedOwner, q.version, len(q.deferred))
@@ -311,13 +312,13 @@ func (n *Node) serveSWOwn(c *sim.Call, from int, m swOwnReq) {
 // scheduleSWGrant arranges for the oldest deferred request to be granted
 // once the quantum expires (immediately if it already has).
 func (n *Node) scheduleSWGrant(pg int, ps *pageState) {
-	now := n.c.eng.Now()
+	now := n.c.rt.Now()
 	due := ps.ownedSince + n.c.params.OwnershipQuantum
 	if due <= now {
 		n.grantSW(pg, ps)
 		return
 	}
-	n.c.eng.After(due-now, func() { n.grantSW(pg, ps) })
+	n.c.rt.After(due-now, func() { n.grantSW(pg, ps) })
 }
 
 // grantSW transfers ownership and the page to the oldest deferred

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"adsm/internal/mem"
-	"adsm/internal/sim"
+	"adsm/internal/transport"
 )
 
 // This file implements the merge procedure that makes an invalid page
@@ -115,7 +115,7 @@ func (n *Node) mergeOnce(pg int, ps *pageState) {
 var debugFetch func(n *Node, pg, target int, applied []int32, reg5 byte)
 
 func (n *Node) fetchPage(pg int, ps *pageState, target int) {
-	resp := n.c.net.Call(n.proc, target, pageReq{Page: pg}).(pageResp)
+	resp := n.c.rt.Call(n.proc, target, pageReq{Page: pg}).(pageResp)
 	n.Stats.PageFetches++
 	if debugFetch != nil {
 		debugFetch(n, pg, target, resp.Applied, resp.Data[5*256])
@@ -210,16 +210,16 @@ func (n *Node) fetchDiffs(pg int, ps *pageState, wns []*WriteNotice) {
 	if len(missing) == 0 {
 		return
 	}
-	var targets []sim.Target
+	var targets []transport.Target
 	for p := 0; p < n.c.params.Procs; p++ {
 		if ks, ok := missing[p]; ok {
-			targets = append(targets, sim.Target{
+			targets = append(targets, transport.Target{
 				To: p,
 				M:  diffReq{Page: pg, Wants: ks, SeesFS: ps.seesFS},
 			})
 		}
 	}
-	resps := n.c.net.Multicall(n.proc, targets)
+	resps := n.c.rt.Multicall(n.proc, targets)
 	for _, r := range resps {
 		dr := r.(diffResp)
 		for i, d := range dr.Diffs {
@@ -270,7 +270,7 @@ func (n *Node) applyDiffs(pg int, ps *pageState, wns []*WriteNotice) {
 
 // servePage handles a pageReq: reply with a snapshot of our copy, or
 // forward along the perceived-owner chain if we have none.
-func (n *Node) servePage(c *sim.Call, from int, m pageReq) {
+func (n *Node) servePage(c transport.Call, from int, m pageReq) {
 	ps := n.pages[m.Page]
 	if ps.data == nil {
 		if m.Hops > 4*n.c.params.Procs {
@@ -306,10 +306,10 @@ func (n *Node) queueOwnershipDrop(pg int, ps *pageState) {
 // serveDiffs handles a diffReq: create missing diffs lazily (charged as
 // reply latency) and record the requester's false-sharing perception in
 // the copyset (adaptive mechanism 1).
-func (n *Node) serveDiffs(c *sim.Call, from int, m diffReq) {
+func (n *Node) serveDiffs(c transport.Call, from int, m diffReq) {
 	ps := n.pages[m.Page]
 	n.c.policy.OnServeDiffs(n, from, ps, m.SeesFS)
-	var cost sim.Time
+	var cost transport.Time
 	resp := diffResp{}
 	for _, k := range m.Wants {
 		d := n.diffCache[k]

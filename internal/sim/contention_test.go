@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"adsm/internal/transport"
+)
 
 // TestReceiverLinkSerializes: large replies from many senders to one
 // receiver must queue on the receiver's inbound link (this is what makes
@@ -10,7 +14,7 @@ func TestReceiverLinkSerializes(t *testing.T) {
 	nt := NewNet(e, 5, DefaultNetParams())
 	const payload = 4096
 	for i := 1; i < 5; i++ {
-		nt.Register(i, func(c *Call, from int, m Msg) {
+		nt.Register(i, func(c transport.Call, from int, m Msg) {
 			c.Reply(testMsg{n: payload})
 		})
 	}
@@ -51,7 +55,7 @@ func TestSmallRepliesStillParallel(t *testing.T) {
 	e := NewEngine()
 	nt := NewNet(e, 4, DefaultNetParams())
 	for i := 1; i < 4; i++ {
-		nt.Register(i, func(c *Call, from int, m Msg) { c.Reply(testMsg{n: 8}) })
+		nt.Register(i, func(c transport.Call, from int, m Msg) { c.Reply(testMsg{n: 8}) })
 	}
 	var elapsed Time
 	e.Spawn("caller", func(p *Proc) {

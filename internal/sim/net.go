@@ -8,42 +8,37 @@ package sim
 // a process, answered by a handler on the target node. Handlers run as
 // plain events (the "interrupt" model of TreadMarks' SIGIO handler: they
 // never block, they mutate node state and reply, forward, or defer).
+//
+// Net is the simulator implementation of the transport seam
+// (transport.Runtime): the deterministic oracle against which the real
+// transports (internal/transport/tcp) are checked.
+
+import (
+	"fmt"
+
+	"adsm/internal/transport"
+)
 
 // HeaderBytes models the UDP/protocol header charged per message.
-const HeaderBytes = 40
+const HeaderBytes = transport.HeaderBytes
 
 // NetParams describes the network cost model.
-type NetParams struct {
-	// FixedDelay is the one-way per-message latency excluding payload.
-	FixedDelay Time
-	// PerBytePico is the transfer cost per payload byte, in picoseconds.
-	PerBytePico int64
-	// LocalDelay is charged when a node "sends" to itself (no message is
-	// counted; this models a local procedure call).
-	LocalDelay Time
-}
+type NetParams = transport.NetParams
 
 // DefaultNetParams reproduces the paper's environment (155 Mbps ATM, UDP):
 // smallest-message RTT ~1 ms and 4 KB page fetch ~1921 us.
-func DefaultNetParams() NetParams {
-	return NetParams{
-		FixedDelay:  490 * Microsecond,
-		PerBytePico: 220_000, // 220 ns/byte effective user bandwidth
-		LocalDelay:  2 * Microsecond,
-	}
-}
+func DefaultNetParams() NetParams { return transport.DefaultNetParams() }
 
 // Msg is a protocol message. Size reports the payload size in bytes used
 // for transfer-time and data-volume accounting; the fixed header is added
 // by the network layer.
-type Msg interface {
-	Size() int
-}
+type Msg = transport.Msg
 
-// Handler services calls addressed to one node. It must not block: it
-// replies (possibly after a modelled processing cost), forwards the call to
-// another node, or stores the Call to reply later (deferred grant).
-type Handler func(c *Call, from int, m Msg)
+// Handler services calls addressed to one node. It must not block.
+type Handler = transport.Handler
+
+// Target pairs a destination node with a request for Multicall.
+type Target = transport.Target
 
 // Net connects n nodes with the given cost model and counts traffic.
 // Each node has a single inbound link: concurrent transfers to the same
@@ -76,11 +71,53 @@ func NewNet(e *Engine, n int, params NetParams) *Net {
 	}
 }
 
+// The simulator is the default runtime for clusters that do not configure
+// an explicit transport: registering here (rather than having the engine
+// import the simulator) keeps internal/core free of any concrete
+// simulator network type.
+func init() {
+	transport.DefaultRuntime = func(procs int, net NetParams, eventLimit uint64) transport.Runtime {
+		e := NewEngine()
+		e.MaxEvents = eventLimit
+		return NewNet(e, procs, net)
+	}
+}
+
 // Register installs the call handler for node id.
 func (nt *Net) Register(id int, h Handler) { nt.handlers[id] = h }
 
 // Params returns the cost model in use.
 func (nt *Net) Params() NetParams { return nt.params }
+
+// Engine returns the engine driving this network.
+func (nt *Net) Engine() *Engine { return nt.eng }
+
+// LocalNodes lists the hosted node ids: the simulator always hosts all of
+// them.
+func (nt *Net) LocalNodes() []int {
+	ids := make([]int, len(nt.handlers))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// Spawn registers body as node id's simulated process.
+func (nt *Net) Spawn(id int, name string, body func(p transport.Proc)) {
+	p := nt.eng.Spawn(name, func(sp *Proc) { body(sp) })
+	if p.ID() != id {
+		panic(fmt.Sprintf("sim: spawned node %d as proc %d (Spawn must follow node order)", id, p.ID()))
+	}
+}
+
+// Run executes the simulation until every process has finished.
+func (nt *Net) Run() error { return nt.eng.Run() }
+
+// Now returns the current virtual time.
+func (nt *Net) Now() Time { return nt.eng.Now() }
+
+// After schedules fn to run in handler context at Now()+d.
+func (nt *Net) After(d Time, fn func()) { nt.eng.After(d, fn) }
 
 // TotalMsgs reports the total number of messages sent by all nodes.
 func (nt *Net) TotalMsgs() int64 {
@@ -158,41 +195,46 @@ func (nt *Net) deliver(c *Call, from, to int, m Msg) {
 	nt.transmit(from, to, m.Size(), func() {
 		h := nt.handlers[to]
 		if h == nil {
-			panic("sim: no handler registered for node")
+			panic(fmt.Sprintf("sim: call from node %d to node %d: no handler registered", from, to))
 		}
 		h(c, from, m)
 	})
 }
 
-// Call sends m to node `to` on behalf of process p (node p.ID()) and blocks
-// until the reply arrives; it returns the reply.
-func (nt *Net) Call(p *Proc, to int, m Msg) Msg {
-	st := &callState{p: p, pending: 1, results: make([]Msg, 1)}
-	c := &Call{net: nt, st: st, idx: 0, origin: p.ID()}
-	nt.deliver(c, p.ID(), to, m)
-	p.park("call")
-	return st.results[0]
+// proc unwraps the caller-side context handed through the transport seam.
+func (nt *Net) proc(p transport.Proc) *Proc {
+	sp, ok := p.(*Proc)
+	if !ok {
+		panic(fmt.Sprintf("sim: caller %T is not a simulated process", p))
+	}
+	return sp
 }
 
-// Target pairs a destination node with a request for Multicall.
-type Target struct {
-	To int
-	M  Msg
+// Call sends m to node `to` on behalf of process p (node p.ID()) and blocks
+// until the reply arrives; it returns the reply.
+func (nt *Net) Call(p transport.Proc, to int, m Msg) Msg {
+	sp := nt.proc(p)
+	st := &callState{p: sp, pending: 1, results: make([]Msg, 1)}
+	c := &Call{net: nt, st: st, idx: 0, origin: sp.ID()}
+	nt.deliver(c, sp.ID(), to, m)
+	sp.park("call")
+	return st.results[0]
 }
 
 // Multicall issues all requests simultaneously and blocks until every
 // reply has arrived (elapsed time is the maximum of the individual calls,
 // modelling TreadMarks' parallel diff requests). Results are positional.
-func (nt *Net) Multicall(p *Proc, reqs []Target) []Msg {
+func (nt *Net) Multicall(p transport.Proc, reqs []Target) []Msg {
 	if len(reqs) == 0 {
 		return nil
 	}
-	st := &callState{p: p, pending: len(reqs), results: make([]Msg, len(reqs))}
+	sp := nt.proc(p)
+	st := &callState{p: sp, pending: len(reqs), results: make([]Msg, len(reqs))}
 	for i, r := range reqs {
-		c := &Call{net: nt, st: st, idx: i, origin: p.ID()}
-		nt.deliver(c, p.ID(), r.To, r.M)
+		c := &Call{net: nt, st: st, idx: i, origin: sp.ID()}
+		nt.deliver(c, sp.ID(), r.To, r.M)
 	}
-	p.park("multicall")
+	sp.park("multicall")
 	return st.results
 }
 

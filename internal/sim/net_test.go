@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"strings"
 	"testing"
+
+	"adsm/internal/transport"
 )
 
 type testMsg struct {
@@ -14,11 +17,11 @@ func (m testMsg) Size() int { return m.n }
 func TestCallRoundTrip(t *testing.T) {
 	e := NewEngine()
 	nt := NewNet(e, 2, DefaultNetParams())
-	nt.Register(1, func(c *Call, from int, m Msg) {
+	nt.Register(1, func(c transport.Call, from int, m Msg) {
 		req := m.(testMsg)
 		c.Reply(testMsg{kind: "resp:" + req.kind, n: 8})
 	})
-	nt.Register(0, func(c *Call, from int, m Msg) { t.Error("unexpected call to node 0") })
+	nt.Register(0, func(c transport.Call, from int, m Msg) { t.Error("unexpected call to node 0") })
 	var resp Msg
 	var elapsed Time
 	e.Spawn("caller", func(p *Proc) {
@@ -46,7 +49,7 @@ func TestPageFetchLatencyMatchesPaper(t *testing.T) {
 	// A remote miss bringing a 4096-byte page should take ~1921us.
 	e := NewEngine()
 	nt := NewNet(e, 2, DefaultNetParams())
-	nt.Register(1, func(c *Call, from int, m Msg) {
+	nt.Register(1, func(c transport.Call, from int, m Msg) {
 		c.Reply(testMsg{kind: "page", n: 4096 + 24})
 	})
 	var elapsed Time
@@ -69,7 +72,7 @@ func TestMulticallElapsedIsMax(t *testing.T) {
 	nt := NewNet(e, 4, DefaultNetParams())
 	for i := 1; i < 4; i++ {
 		i := i
-		nt.Register(i, func(c *Call, from int, m Msg) {
+		nt.Register(i, func(c transport.Call, from int, m Msg) {
 			c.ReplyAfter(Time(i)*Millisecond, testMsg{kind: "r", n: 8})
 		})
 	}
@@ -111,10 +114,10 @@ func TestForwardChainCountsMessages(t *testing.T) {
 	// caller(0) -> home(1) -> owner(2) -> reply to 0: 3 messages.
 	e := NewEngine()
 	nt := NewNet(e, 3, DefaultNetParams())
-	nt.Register(1, func(c *Call, from int, m Msg) {
+	nt.Register(1, func(c transport.Call, from int, m Msg) {
 		c.Forward(2, testMsg{kind: "fwd", n: 16})
 	})
-	nt.Register(2, func(c *Call, from int, m Msg) {
+	nt.Register(2, func(c transport.Call, from int, m Msg) {
 		if from != 1 {
 			t.Errorf("forwarded call sees from=%d, want 1", from)
 		}
@@ -144,8 +147,8 @@ func TestDeferredReply(t *testing.T) {
 	// the SW ownership quantum).
 	e := NewEngine()
 	nt := NewNet(e, 2, DefaultNetParams())
-	var pending *Call
-	nt.Register(1, func(c *Call, from int, m Msg) {
+	var pending transport.Call
+	nt.Register(1, func(c transport.Call, from int, m Msg) {
 		pending = c
 		e.After(5*Millisecond, func() {
 			pending.Reply(testMsg{kind: "late", n: 8})
@@ -169,7 +172,7 @@ func TestDeferredReply(t *testing.T) {
 func TestSelfCallIsLocalAndFree(t *testing.T) {
 	e := NewEngine()
 	nt := NewNet(e, 1, DefaultNetParams())
-	nt.Register(0, func(c *Call, from int, m Msg) {
+	nt.Register(0, func(c transport.Call, from int, m Msg) {
 		c.Reply(testMsg{kind: "self", n: 100})
 	})
 	e.Spawn("caller", func(p *Proc) {
@@ -189,7 +192,7 @@ func TestSelfCallIsLocalAndFree(t *testing.T) {
 func TestBytesAccounting(t *testing.T) {
 	e := NewEngine()
 	nt := NewNet(e, 2, DefaultNetParams())
-	nt.Register(1, func(c *Call, from int, m Msg) {
+	nt.Register(1, func(c transport.Call, from int, m Msg) {
 		c.Reply(testMsg{n: 1000})
 	})
 	e.Spawn("caller", func(p *Proc) { nt.Call(p, 1, testMsg{n: 200}) })
@@ -203,5 +206,25 @@ func TestBytesAccounting(t *testing.T) {
 	}
 	if nt.BytesSent[0] != int64(200+HeaderBytes) {
 		t.Fatalf("node 0 bytes = %d", nt.BytesSent[0])
+	}
+}
+
+// TestCallUnregisteredNodeFailsLoudly: a call to a node with no handler
+// must surface as a Run error naming the failure, not crash the engine or
+// deadlock the caller (the same invariant the tcp transport tests pin).
+func TestCallUnregisteredNodeFailsLoudly(t *testing.T) {
+	e := NewEngine()
+	nt := NewNet(e, 2, DefaultNetParams())
+	nt.Register(0, func(c transport.Call, from int, m Msg) { c.Reply(m) })
+	// Node 1 deliberately registers no handler.
+	e.Spawn("caller", func(p *Proc) {
+		nt.Call(p, 1, testMsg{n: 4})
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected an error for a call to an unregistered node")
+	}
+	if !strings.Contains(err.Error(), "no handler registered") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

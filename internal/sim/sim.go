@@ -15,27 +15,21 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
-	"time"
+
+	"adsm/internal/transport"
 )
 
-// Time is virtual time in nanoseconds.
-type Time int64
+// Time is virtual time in nanoseconds (the transport seam's time type, so
+// protocol code is substrate-agnostic).
+type Time = transport.Time
 
 // Convenient virtual-time units.
 const (
-	Nanosecond  Time = 1
-	Microsecond Time = 1000 * Nanosecond
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Nanosecond  = transport.Nanosecond
+	Microsecond = transport.Microsecond
+	Millisecond = transport.Millisecond
+	Second      = transport.Second
 )
-
-// Duration converts virtual time to a time.Duration for reporting.
-func (t Time) Duration() time.Duration { return time.Duration(t) }
-
-func (t Time) String() string { return t.Duration().String() }
-
-// Seconds reports the time in (floating point) seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 type event struct {
 	at  Time
@@ -217,12 +211,25 @@ func (e *Engine) Run() error {
 		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.MaxEvents, e.now)
 		}
-		ev.fn()
+		e.runEvent(ev.fn)
 	}
 	if e.err != nil {
 		return e.err
 	}
 	return nil
+}
+
+// runEvent executes one event function, converting a panic (e.g. a
+// protocol handler rejecting a message) into a simulation error so that
+// transport-level failures surface loudly from Run instead of crashing the
+// engine goroutine.
+func (e *Engine) runEvent(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.Fail(fmt.Errorf("sim: event panicked: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	fn()
 }
 
 func (e *Engine) deadlock() error {

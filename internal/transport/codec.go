@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// The message codec registry, keyed like the protocol registry: every
+// protocol message type that may cross a real wire registers a Codec
+// binding it to a stable wire name and a gob-encodable wire form. The
+// simulator passes messages by reference and never consults the registry;
+// real transports (internal/transport/tcp) refuse to carry an unregistered
+// message.
+//
+// Most messages are their own wire form (plain structs with exported
+// fields); messages holding unexported fields or pointer-cyclic metadata
+// (intervals whose write notices point back at their interval) register an
+// explicit flat wire struct plus the two conversions.
+
+// Codec gives one protocol message type a wire encoding.
+type Codec struct {
+	// Name is the stable wire name (registered with gob, so it must never
+	// change once peers may disagree on binary versions).
+	Name string
+	// Msg is a zero sample of the protocol message type; its dynamic type
+	// keys the encode path.
+	Msg Msg
+	// Wire is a zero sample of the wire form; its dynamic type keys the
+	// decode path and is registered with gob. Nil means the message is its
+	// own wire form (Encode/Decode must then be nil too).
+	Wire any
+	// Encode converts the message to a value of the wire form.
+	Encode func(m Msg) any
+	// Decode reconstructs the message from a decoded wire value.
+	Decode func(v any) Msg
+}
+
+var (
+	codecMu     sync.RWMutex
+	codecByMsg  = map[reflect.Type]Codec{}
+	codecByWire = map[reflect.Type]Codec{}
+	codecByName = map[string]Codec{}
+)
+
+// RegisterCodec adds a message codec to the registry (and its wire form to
+// gob under Name). It fails on duplicate names, duplicate message types,
+// or a half-specified conversion.
+func RegisterCodec(c Codec) error {
+	if c.Name == "" {
+		return fmt.Errorf("transport: codec name must not be empty")
+	}
+	if c.Msg == nil {
+		return fmt.Errorf("transport: codec %q has no message sample", c.Name)
+	}
+	if (c.Encode == nil) != (c.Decode == nil) || (c.Wire == nil) != (c.Encode == nil) {
+		return fmt.Errorf("transport: codec %q must set Wire, Encode and Decode together", c.Name)
+	}
+	wire := c.Wire
+	if wire == nil {
+		wire = c.Msg
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, ok := codecByName[c.Name]; ok {
+		return fmt.Errorf("transport: codec name %q already registered", c.Name)
+	}
+	mt := reflect.TypeOf(c.Msg)
+	if _, ok := codecByMsg[mt]; ok {
+		return fmt.Errorf("transport: message type %v already has a codec", mt)
+	}
+	wt := reflect.TypeOf(wire)
+	if _, ok := codecByWire[wt]; ok {
+		return fmt.Errorf("transport: wire type %v already has a codec", wt)
+	}
+	gob.RegisterName("adsm/"+c.Name, wire)
+	codecByName[c.Name] = c
+	codecByMsg[mt] = c
+	codecByWire[wt] = c
+	return nil
+}
+
+// MustRegisterCodec is RegisterCodec, panicking on error (init-time use).
+func MustRegisterCodec(c Codec) {
+	if err := RegisterCodec(c); err != nil {
+		panic(err)
+	}
+}
+
+// CodecOf returns the codec for a message value.
+func CodecOf(m Msg) (Codec, bool) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecByMsg[reflect.TypeOf(m)]
+	return c, ok
+}
+
+// Codecs lists every registered codec in name order-independent map order;
+// tests iterate it to pin wire invariants for all message types.
+func Codecs() []Codec {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	out := make([]Codec, 0, len(codecByName))
+	for _, c := range codecByName {
+		out = append(out, c)
+	}
+	return out
+}
+
+// EncodeMsg converts a message to its wire value, ready for gob.
+func EncodeMsg(m Msg) (any, error) {
+	c, ok := CodecOf(m)
+	if !ok {
+		return nil, fmt.Errorf("transport: message %T has no registered codec", m)
+	}
+	if c.Encode == nil {
+		return m, nil
+	}
+	return c.Encode(m), nil
+}
+
+// DecodeMsg reconstructs a message from a decoded wire value.
+func DecodeMsg(v any) (Msg, error) {
+	codecMu.RLock()
+	c, ok := codecByWire[reflect.TypeOf(v)]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: wire value %T has no registered codec", v)
+	}
+	if c.Decode == nil {
+		return v.(Msg), nil
+	}
+	return c.Decode(v), nil
+}
+
+// WireSize measures the steady-state gob payload of a message: the bytes
+// its wire value adds to an already-warmed gob stream (type descriptors
+// excluded, matching a long-lived connection). Tests use it to audit the
+// declared Msg.Size() against reality.
+func WireSize(m Msg) (int, error) {
+	v, err := EncodeMsg(m)
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Warm the stream with one throwaway encoding of the same type so the
+	// second carries only the value.
+	if err := enc.Encode(&v); err != nil {
+		return 0, err
+	}
+	warm := buf.Len()
+	if err := enc.Encode(&v); err != nil {
+		return 0, err
+	}
+	return buf.Len() - warm, nil
+}

@@ -1,0 +1,927 @@
+// Package tcp implements the transport seam over real TCP connections:
+// each node is a goroutine-or-process endpoint speaking length-prefixed
+// gob frames over net.Conn. One Runtime instance hosts one or more nodes;
+// hosting all nodes in one process gives an in-process loopback mesh
+// (every pair of nodes still talks through a real socket), hosting a
+// subset gives one endpoint of a genuine multi-process deployment (the
+// dsmnode command).
+//
+// Where the simulator parks a virtual process and resumes it from the
+// event queue, this runtime blocks the calling goroutine on a channel that
+// the reply frame completes. Handlers preserve the simulator's "interrupt
+// model" invariant — exactly one thing mutates protocol state at a time —
+// via a per-runtime state lock: application bodies hold it except while
+// blocked in a call, and frame dispatch takes it around each handler.
+// Transport failures (a lost peer, an unregistered destination) fail every
+// affected call loudly instead of deadlocking the caller: the call panics,
+// the body's recover converts it into a Run error.
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"adsm/internal/transport"
+)
+
+// Options configures a TCP runtime endpoint.
+type Options struct {
+	// Procs is the cluster size.
+	Procs int
+	// Local lists the node ids hosted by this endpoint. Nil hosts all of
+	// them (the in-process mesh).
+	Local []int
+	// Addrs gives every node's listen address, indexed by node id. Nil
+	// picks loopback addresses automatically (all nodes must be local).
+	Addrs []string
+	// Timescale multiplies the modelled compute/processing delays
+	// (Worker.Compute, diff-creation reply latency, the SW ownership
+	// quantum) into real sleeps. 0 skips the sleeps entirely — protocol
+	// behaviour is preserved, runs finish as fast as the wire allows.
+	Timescale float64
+	// DialTimeout bounds how long New waits for the peer mesh to come up
+	// (default 20s).
+	DialTimeout time.Duration
+	// Fingerprint is an opaque summary of the run configuration (app,
+	// protocol, home policy, procs, inputs). Peers exchange it in the
+	// hello handshake and refuse to mesh on a mismatch — turning a
+	// silently-wrong multi-process run into a clear startup error. Empty
+	// fingerprints always match.
+	Fingerprint string
+}
+
+// frame ops.
+const (
+	opHello = 1 + iota // dialer introduces itself on a fresh connection
+	opCall             // a request (fresh or forwarded)
+	opReply            // the answer travelling back to the call's origin
+	opBye              // orderly shutdown: this endpoint's bodies finished
+)
+
+// frame is the unit on the wire: a length-prefixed gob blob.
+type frame struct {
+	Op     uint8
+	From   int    // sending node
+	To     int    // receiving node
+	Origin int    // node that issued the call (survives forwarding)
+	CallID uint64 // caller-assigned id
+	Idx    int    // multicall slot
+	Err    string // transport-level failure travelling back to the caller
+	Tag    string // hello only: the dialer's config fingerprint
+	Body   any    // the message's wire value (see transport.RegisterCodec)
+}
+
+// Each frame is encoded with a fresh gob encoder, so it is fully
+// self-delimiting and peers can join mid-stream semantics-wise; the cost
+// is re-sent type descriptors per frame (a couple hundred bytes against a
+// 4 KB page). Traffic accounting deliberately charges Msg.Size(), not the
+// gob framing, so protocol-level counters stay comparable with the
+// simulator.
+//
+// maxFrame guards the reader against corrupt length prefixes.
+const maxFrame = 256 << 20
+
+func encodeFrame(f *frame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
+	return b, nil
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, err
+	}
+	f := new(frame)
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// callState tracks one blocking (multi-)call issued by a local process.
+type callState struct {
+	results []transport.Msg
+	pending int
+	done    chan struct{}
+	err     error
+}
+
+// end is this runtime's end of the connection between one hosted node and
+// one peer node. Protocol code never blocks on the socket: sends enqueue
+// onto an unbounded queue drained by a dedicated writer goroutine, so a
+// full TCP buffer can never wedge a handler that holds the state lock.
+type end struct {
+	rt          *Runtime
+	owner, peer int
+	conn        net.Conn
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	q      [][]byte
+	closed bool
+
+	byeOnce sync.Once
+	bye     chan struct{}
+}
+
+// Runtime is a TCP transport endpoint implementing transport.Runtime.
+type Runtime struct {
+	procs int
+	local []int
+	addrs []string
+	scale float64
+	start time.Time
+	dialT time.Duration
+	fprnt string
+
+	// mu is the protocol state lock: bodies hold it except while blocked
+	// in a call; frame dispatch and timers take it around handlers.
+	mu       sync.Mutex
+	handlers []transport.Handler
+	calls    map[uint64]*callState
+	nextCall uint64
+	msgs     []int64
+	bytes    []int64
+	failErr  error
+	finished bool
+
+	isLocal   []bool
+	ends      [][]*end // [local node][peer node]
+	listeners []net.Listener
+	bodies    map[int]func(transport.Proc)
+	runGate   chan struct{}
+	bodyWG    sync.WaitGroup
+
+	errMu    sync.Mutex
+	bodyErrs []error
+}
+
+// New builds the endpoint: binds the local listeners, establishes the full
+// mesh (one connection per pair of nodes with a hosted end; the
+// higher-numbered node dials the lower), and returns once every expected
+// peer is connected.
+func New(o Options) (*Runtime, error) {
+	if o.Procs < 1 {
+		return nil, fmt.Errorf("tcp: need at least one node")
+	}
+	local := o.Local
+	if local == nil {
+		for i := 0; i < o.Procs; i++ {
+			local = append(local, i)
+		}
+	}
+	local = append([]int(nil), local...)
+	sort.Ints(local)
+	isLocal := make([]bool, o.Procs)
+	for _, id := range local {
+		if id < 0 || id >= o.Procs {
+			return nil, fmt.Errorf("tcp: local node %d out of range", id)
+		}
+		if isLocal[id] {
+			return nil, fmt.Errorf("tcp: local node %d listed twice", id)
+		}
+		isLocal[id] = true
+	}
+	if o.Addrs == nil && len(local) != o.Procs {
+		return nil, fmt.Errorf("tcp: hosting a node subset requires explicit Addrs")
+	}
+	if o.Addrs != nil && len(o.Addrs) != o.Procs {
+		return nil, fmt.Errorf("tcp: need %d addresses, got %d", o.Procs, len(o.Addrs))
+	}
+	dialT := o.DialTimeout
+	if dialT == 0 {
+		dialT = 20 * time.Second
+	}
+
+	rt := &Runtime{
+		procs:    o.Procs,
+		local:    local,
+		scale:    o.Timescale,
+		start:    time.Now(),
+		dialT:    dialT,
+		fprnt:    o.Fingerprint,
+		handlers: make([]transport.Handler, o.Procs),
+		calls:    make(map[uint64]*callState),
+		msgs:     make([]int64, o.Procs),
+		bytes:    make([]int64, o.Procs),
+		isLocal:  isLocal,
+		ends:     make([][]*end, o.Procs),
+		bodies:   make(map[int]func(transport.Proc)),
+		runGate:  make(chan struct{}),
+	}
+	for _, id := range local {
+		rt.ends[id] = make([]*end, o.Procs)
+	}
+
+	// Copy: the listener loop rewrites auto-selected addresses, and the
+	// caller's slice may be shared (e.g. two endpoints in one test).
+	addrs := make([]string, o.Procs)
+	copy(addrs, o.Addrs)
+	// Bind every hosted node's listener first so peers can dial us while
+	// we dial them.
+	for _, id := range local {
+		laddr := addrs[id]
+		if laddr == "" {
+			laddr = "127.0.0.1:0"
+		}
+		l, err := net.Listen("tcp", laddr)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("tcp: node %d listen %s: %w", id, laddr, err)
+		}
+		addrs[id] = l.Addr().String()
+		rt.listeners = append(rt.listeners, l)
+	}
+	rt.addrs = addrs
+
+	if err := rt.connectMesh(); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Addrs reports the effective per-node listen addresses (useful in the
+// in-process mode, where they are picked automatically).
+func (rt *Runtime) Addrs() []string { return append([]string(nil), rt.addrs...) }
+
+// connectMesh establishes every pair connection with a hosted end: each
+// hosted node dials every lower-numbered node and accepts a connection
+// from every higher-numbered one.
+func (rt *Runtime) connectMesh() error {
+	type res struct {
+		e   *end
+		err error
+	}
+	expect := 0
+	ch := make(chan res, rt.procs*rt.procs)
+
+	// Accept side: every hosted node accepts from higher-numbered peers.
+	for li, id := range rt.local {
+		want := rt.procs - 1 - id
+		expect += want
+		l := rt.listeners[li]
+		id := id
+		go func() {
+			for k := 0; k < want; k++ {
+				conn, err := l.Accept()
+				if err != nil {
+					ch <- res{err: fmt.Errorf("tcp: node %d accept: %w", id, err)}
+					return
+				}
+				conn.SetReadDeadline(time.Now().Add(rt.dialT))
+				hello, err := readFrame(conn)
+				if err != nil {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d reading hello: %w", id, err)}
+					return
+				}
+				if hello.Op != opHello || hello.To != id {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d received a frame addressed to node %d (op %d) instead of a hello — check that every participant uses the same -addrs order", id, hello.To, hello.Op)}
+					return
+				}
+				ack := &frame{Op: opHello, From: id, To: hello.From, Tag: rt.fprnt}
+				mismatch := hello.Tag != "" && rt.fprnt != "" && hello.Tag != rt.fprnt
+				if mismatch {
+					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
+						id, hello.From, rt.fprnt, hello.Tag)
+				}
+				if b, err := encodeFrame(ack); err == nil {
+					conn.Write(b)
+				}
+				if mismatch {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("%s", ack.Err)}
+					return
+				}
+				conn.SetReadDeadline(time.Time{})
+				ch <- res{e: rt.newEnd(id, hello.From, conn)}
+			}
+		}()
+	}
+
+	// Dial side: every hosted node dials every lower-numbered peer.
+	for _, id := range rt.local {
+		for peer := 0; peer < id; peer++ {
+			expect++
+			id, peer := id, peer
+			go func() {
+				deadline := time.Now().Add(rt.dialT)
+				var conn net.Conn
+				var err error
+				for {
+					conn, err = net.DialTimeout("tcp", rt.addrs[peer], time.Second)
+					if err == nil || time.Now().After(deadline) {
+						break
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+				if err != nil {
+					ch <- res{err: fmt.Errorf("tcp: node %d dial node %d (%s): %w", id, peer, rt.addrs[peer], err)}
+					return
+				}
+				b, err := encodeFrame(&frame{Op: opHello, From: id, To: peer, Tag: rt.fprnt})
+				if err == nil {
+					_, err = conn.Write(b)
+				}
+				if err != nil {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d hello to node %d: %w", id, peer, err)}
+					return
+				}
+				conn.SetReadDeadline(time.Now().Add(rt.dialT))
+				ack, err := readFrame(conn)
+				if err != nil || ack.Op != opHello {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d: no hello ack from node %d: %v", id, peer, err)}
+					return
+				}
+				if ack.Err != "" {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d: node %d rejected the mesh: %s", id, peer, ack.Err)}
+					return
+				}
+				if ack.Tag != "" && rt.fprnt != "" && ack.Tag != rt.fprnt {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
+						id, peer, rt.fprnt, ack.Tag)}
+					return
+				}
+				conn.SetReadDeadline(time.Time{})
+				ch <- res{e: rt.newEnd(id, peer, conn)}
+			}()
+		}
+	}
+
+	timeout := time.After(rt.dialT + time.Second)
+	for k := 0; k < expect; k++ {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				return r.err
+			}
+			rt.ends[r.e.owner][r.e.peer] = r.e
+		case <-timeout:
+			return fmt.Errorf("tcp: mesh incomplete after %v (are all peers running?)", rt.dialT)
+		}
+	}
+	// Start the frame pumps.
+	for _, id := range rt.local {
+		for _, e := range rt.ends[id] {
+			if e != nil {
+				go e.writeLoop()
+				go e.readLoop()
+			}
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) newEnd(owner, peer int, conn net.Conn) *end {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	e := &end{rt: rt, owner: owner, peer: peer, conn: conn, bye: make(chan struct{})}
+	e.qcond = sync.NewCond(&e.qmu)
+	return e
+}
+
+// --- the send path (never blocks protocol code) ---
+
+func (e *end) enqueue(b []byte) {
+	e.qmu.Lock()
+	if !e.closed {
+		e.q = append(e.q, b)
+		e.qcond.Signal()
+	}
+	e.qmu.Unlock()
+}
+
+// flushed reports whether the queue has fully drained.
+func (e *end) flushed() bool {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return len(e.q) == 0
+}
+
+func (e *end) closeQueue() {
+	e.qmu.Lock()
+	e.closed = true
+	e.qcond.Signal()
+	e.qmu.Unlock()
+}
+
+func (e *end) writeLoop() {
+	for {
+		e.qmu.Lock()
+		for len(e.q) == 0 && !e.closed {
+			e.qcond.Wait()
+		}
+		if len(e.q) == 0 && e.closed {
+			e.qmu.Unlock()
+			return
+		}
+		b := e.q[0]
+		e.q = e.q[1:]
+		e.qmu.Unlock()
+		if _, err := e.conn.Write(b); err != nil {
+			if !e.rt.shuttingDown() {
+				e.rt.fail(fmt.Errorf("tcp: node %d write to node %d: %w", e.owner, e.peer, err))
+			}
+			return
+		}
+	}
+}
+
+// --- the receive path ---
+
+func (e *end) readLoop() {
+	<-e.rt.runGate // handlers exist once Run starts; frames wait in the socket
+	r := bufio.NewReaderSize(e.conn, 64<<10)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			e.byeOnce.Do(func() { close(e.bye) })
+			if !e.rt.shuttingDown() {
+				e.rt.fail(fmt.Errorf("tcp: node %d lost connection to node %d: %w", e.owner, e.peer, err))
+			}
+			return
+		}
+		if f.Op == opBye {
+			e.byeOnce.Do(func() { close(e.bye) })
+			continue
+		}
+		e.rt.dispatch(f)
+	}
+}
+
+// dispatch routes one arrived call or reply frame.
+func (rt *Runtime) dispatch(f *frame) {
+	var m transport.Msg
+	if f.Body != nil {
+		var err error
+		m, err = transport.DecodeMsg(f.Body)
+		if err != nil {
+			rt.fail(fmt.Errorf("tcp: decoding frame for node %d: %w", f.To, err))
+			return
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			rt.failLocked(fmt.Errorf("tcp: handler on node %d panicked: %v\n%s", f.To, r, debug.Stack()))
+		}
+	}()
+	switch f.Op {
+	case opCall:
+		h := rt.handlers[f.To]
+		if h == nil {
+			rt.replyErrLocked(f, fmt.Sprintf("tcp: call from node %d to node %d: no handler registered", f.From, f.To))
+			return
+		}
+		c := &call{rt: rt, origin: f.Origin, id: f.CallID, idx: f.Idx, cur: f.To}
+		h(c, f.From, m)
+	case opReply:
+		var err error
+		if f.Err != "" {
+			err = fmt.Errorf("%s", f.Err)
+		}
+		rt.completeLocked(f.CallID, f.Idx, m, err)
+	default:
+		rt.failLocked(fmt.Errorf("tcp: node %d received unknown frame op %d", f.To, f.Op))
+	}
+}
+
+// replyErrLocked sends a transport-level failure back to a call's origin.
+func (rt *Runtime) replyErrLocked(f *frame, msg string) {
+	if rt.isLocal[f.Origin] {
+		rt.completeLocked(f.CallID, f.Idx, nil, fmt.Errorf("%s", msg))
+		return
+	}
+	rt.sendLocked(&frame{Op: opReply, From: f.To, To: f.Origin, CallID: f.CallID, Idx: f.Idx, Err: msg}, nil)
+}
+
+// completeLocked records one slot of a pending call.
+func (rt *Runtime) completeLocked(id uint64, idx int, m transport.Msg, err error) {
+	st := rt.calls[id]
+	if st == nil {
+		return // call already failed and was torn down
+	}
+	if err != nil {
+		st.err = err
+		delete(rt.calls, id)
+		close(st.done)
+		return
+	}
+	st.results[idx] = m
+	st.pending--
+	if st.pending == 0 {
+		delete(rt.calls, id)
+		close(st.done)
+	}
+}
+
+// sendLocked encodes and enqueues one frame between two distinct nodes,
+// charging the sender's traffic counters when it carries a message.
+func (rt *Runtime) sendLocked(f *frame, m transport.Msg) {
+	e := rt.ends[f.From]
+	var ee *end
+	if e != nil {
+		ee = e[f.To]
+	}
+	if ee == nil {
+		panic(fmt.Sprintf("tcp: no connection from node %d to node %d", f.From, f.To))
+	}
+	if m != nil {
+		wire, err := transport.EncodeMsg(m)
+		if err != nil {
+			panic(fmt.Sprintf("tcp: %v", err))
+		}
+		f.Body = wire
+		rt.msgs[f.From]++
+		rt.bytes[f.From] += int64(m.Size() + transport.HeaderBytes)
+	}
+	b, err := encodeFrame(f)
+	if err != nil {
+		panic(fmt.Sprintf("tcp: encoding frame from node %d to node %d: %v", f.From, f.To, err))
+	}
+	ee.enqueue(b)
+}
+
+// deliverLocalLocked dispatches a call whose sender and receiver are the
+// same node without touching the wire (uncharged, like the simulator's
+// local procedure call).
+func (rt *Runtime) deliverLocalLocked(from, to, origin int, id uint64, idx int, m transport.Msg) {
+	h := rt.handlers[to]
+	if h == nil {
+		rt.replyErrLocked(&frame{From: from, To: to, Origin: origin, CallID: id, Idx: idx},
+			fmt.Sprintf("tcp: call from node %d to node %d: no handler registered", from, to))
+		return
+	}
+	c := &call{rt: rt, origin: origin, id: id, idx: idx, cur: to}
+	h(c, from, m)
+}
+
+// --- transport.Call ---
+
+// call is the handler-side view of one in-flight request.
+type call struct {
+	rt     *Runtime
+	origin int
+	id     uint64
+	idx    int
+	cur    int // node currently holding the call
+}
+
+func (c *call) Origin() int { return c.origin }
+
+func (c *call) Reply(m transport.Msg) { c.replyLocked(m) }
+
+// replyLocked runs with the state lock held (all handler and process
+// contexts hold it).
+func (c *call) replyLocked(m transport.Msg) {
+	if c.cur == c.origin {
+		c.rt.completeLocked(c.id, c.idx, m, nil)
+		return
+	}
+	c.rt.sendLocked(&frame{Op: opReply, From: c.cur, To: c.origin, CallID: c.id, Idx: c.idx}, m)
+}
+
+func (c *call) ReplyAfter(d transport.Time, m transport.Msg) {
+	rt := c.rt
+	if real := rt.scaled(d); real > 0 {
+		time.AfterFunc(real, func() {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			if rt.failErr != nil {
+				return
+			}
+			c.replyLocked(m)
+		})
+		return
+	}
+	c.replyLocked(m)
+}
+
+func (c *call) Forward(to int, m transport.Msg) {
+	from := c.cur
+	c.cur = to
+	if to == from {
+		c.rt.deliverLocalLocked(from, to, c.origin, c.id, c.idx, m)
+		return
+	}
+	c.rt.sendLocked(&frame{Op: opCall, From: from, To: to, Origin: c.origin, CallID: c.id, Idx: c.idx}, m)
+}
+
+func (c *call) ForwardAfter(d transport.Time, to int, m transport.Msg) {
+	rt := c.rt
+	if real := rt.scaled(d); real > 0 {
+		time.AfterFunc(real, func() {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			if rt.failErr != nil {
+				return
+			}
+			c.Forward(to, m)
+		})
+		return
+	}
+	c.Forward(to, m)
+}
+
+// --- transport.Transport ---
+
+// Register installs the call handler for node id.
+func (rt *Runtime) Register(id int, h transport.Handler) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.isLocal[id] {
+		panic(fmt.Sprintf("tcp: node %d is not hosted by this endpoint", id))
+	}
+	rt.handlers[id] = h
+}
+
+// Call sends m to node `to` on behalf of p and blocks until the reply
+// arrives.
+func (rt *Runtime) Call(p transport.Proc, to int, m transport.Msg) transport.Msg {
+	return rt.Multicall(p, []transport.Target{{To: to, M: m}})[0]
+}
+
+// Multicall issues all requests simultaneously and blocks until every
+// reply has arrived. Results are positional. The calling goroutine holds
+// the state lock (the body invariant); it is released while blocked.
+func (rt *Runtime) Multicall(p transport.Proc, reqs []transport.Target) []transport.Msg {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if rt.failErr != nil {
+		panic(rt.failErr)
+	}
+	from := p.ID()
+	rt.nextCall++
+	id := rt.nextCall
+	st := &callState{results: make([]transport.Msg, len(reqs)), pending: len(reqs), done: make(chan struct{})}
+	rt.calls[id] = st
+	for i, r := range reqs {
+		if r.To < 0 || r.To >= rt.procs {
+			rt.completeLocked(id, i, nil, fmt.Errorf("tcp: call to node %d: no such node", r.To))
+			continue
+		}
+		if r.To == from {
+			rt.deliverLocalLocked(from, r.To, from, id, i, r.M)
+			continue
+		}
+		rt.sendLocked(&frame{Op: opCall, From: from, To: r.To, Origin: from, CallID: id, Idx: i}, r.M)
+	}
+	rt.mu.Unlock()
+	<-st.done
+	rt.mu.Lock()
+	if st.err != nil {
+		panic(st.err)
+	}
+	return st.results
+}
+
+// After schedules fn to run in handler context after d (scaled). Like
+// ReplyAfter, it keeps firing after this endpoint's bodies finish — a
+// deferred grant may be what a still-running peer is blocked on — and
+// stops only when the runtime is poisoned.
+func (rt *Runtime) After(d transport.Time, fn func()) {
+	real := rt.scaled(d)
+	time.AfterFunc(real, func() {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		if rt.failErr != nil {
+			return
+		}
+		fn()
+	})
+}
+
+func (rt *Runtime) scaled(d transport.Time) time.Duration {
+	if d <= 0 || rt.scale <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * rt.scale)
+}
+
+// TotalMsgs reports the messages sent by the hosted nodes.
+func (rt *Runtime) TotalMsgs() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var s int64
+	for _, v := range rt.msgs {
+		s += v
+	}
+	return s
+}
+
+// TotalBytes reports the bytes (payload+headers) sent by the hosted nodes.
+func (rt *Runtime) TotalBytes() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var s int64
+	for _, v := range rt.bytes {
+		s += v
+	}
+	return s
+}
+
+// --- transport.Runtime ---
+
+// LocalNodes lists the hosted node ids.
+func (rt *Runtime) LocalNodes() []int { return append([]int(nil), rt.local...) }
+
+// Now returns the wall-clock time since the endpoint came up.
+func (rt *Runtime) Now() transport.Time { return transport.Time(time.Since(rt.start)) }
+
+// Spawn registers body as node id's application process.
+func (rt *Runtime) Spawn(id int, name string, body func(p transport.Proc)) {
+	if !rt.isLocal[id] {
+		panic(fmt.Sprintf("tcp: node %d is not hosted by this endpoint", id))
+	}
+	rt.bodies[id] = body
+}
+
+// Run executes the spawned bodies (each under the state lock, released
+// while blocked) and the frame pumps until every local body has finished,
+// then performs the orderly goodbye with every peer.
+func (rt *Runtime) Run() error {
+	rt.start = time.Now() // Elapsed excludes the mesh dial window and app setup
+	close(rt.runGate)
+	for id, body := range rt.bodies {
+		id, body := id, body
+		p := &proc{rt: rt, id: id}
+		rt.bodyWG.Add(1)
+		go func() {
+			defer rt.bodyWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Bodies panic with the state lock held (transport
+					// failures are raised after the call relocks).
+					rt.mu.Unlock()
+					err := fmt.Errorf("tcp: node %d: %v", id, r)
+					rt.errMu.Lock()
+					rt.bodyErrs = append(rt.bodyErrs, err)
+					rt.errMu.Unlock()
+					rt.fail(err)
+				}
+			}()
+			rt.mu.Lock()
+			body(p)
+			rt.mu.Unlock()
+		}()
+	}
+	rt.bodyWG.Wait()
+
+	rt.mu.Lock()
+	rt.finished = true
+	failed := rt.failErr
+	rt.mu.Unlock()
+
+	if failed == nil {
+		rt.goodbye()
+	}
+	rt.Close()
+
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	if len(rt.bodyErrs) > 0 {
+		return rt.bodyErrs[0]
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.failErr
+}
+
+// goodbye flushes every send queue, announces completion to every peer,
+// and waits (bounded) until every peer has announced theirs — a node must
+// keep serving pages and locks until the whole cluster is done with it.
+func (rt *Runtime) goodbye() {
+	deadline := time.Now().Add(rt.dialT)
+	for _, id := range rt.local {
+		for _, e := range rt.ends[id] {
+			if e == nil {
+				continue
+			}
+			if b, err := encodeFrame(&frame{Op: opBye, From: e.owner, To: e.peer}); err == nil {
+				e.enqueue(b)
+			}
+		}
+	}
+	for _, id := range rt.local {
+		for _, e := range rt.ends[id] {
+			if e == nil {
+				continue
+			}
+			select {
+			case <-e.bye:
+			case <-time.After(time.Until(deadline)):
+				return // peer vanished after our work was done: not our failure
+			}
+		}
+	}
+	// Let the last queued replies drain before tearing the sockets down.
+	for _, id := range rt.local {
+		for _, e := range rt.ends[id] {
+			for e != nil && !e.flushed() && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+// Close tears down every socket and listener. Safe to call more than once;
+// Run calls it on the way out.
+func (rt *Runtime) Close() {
+	for _, l := range rt.listeners {
+		l.Close()
+	}
+	for _, id := range rt.local {
+		if rt.ends[id] == nil {
+			continue
+		}
+		for _, e := range rt.ends[id] {
+			if e != nil {
+				e.closeQueue()
+				e.conn.Close()
+			}
+		}
+	}
+}
+
+// fail aborts every pending call and poisons the runtime.
+func (rt *Runtime) fail(err error) {
+	rt.mu.Lock()
+	rt.failLocked(err)
+	rt.mu.Unlock()
+}
+
+func (rt *Runtime) failLocked(err error) {
+	if rt.failErr != nil {
+		return
+	}
+	rt.failErr = err
+	for id, st := range rt.calls {
+		st.err = err
+		delete(rt.calls, id)
+		close(st.done)
+	}
+}
+
+// shuttingDown reports whether socket errors are expected (orderly exit).
+func (rt *Runtime) shuttingDown() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.finished
+}
+
+// --- transport.Proc ---
+
+// proc is one hosted node's application execution context.
+type proc struct {
+	rt *Runtime
+	id int
+}
+
+func (p *proc) ID() int { return p.id }
+
+func (p *proc) Now() transport.Time { return p.rt.Now() }
+
+// Advance models local computation: with a timescale it really sleeps
+// (releasing the state lock so handlers keep running, like the simulated
+// process yielding to the event queue); without one it is free.
+func (p *proc) Advance(d transport.Time) {
+	real := p.rt.scaled(d)
+	if real <= 0 {
+		return
+	}
+	p.rt.mu.Unlock()
+	time.Sleep(real)
+	p.rt.mu.Lock()
+}
