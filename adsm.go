@@ -13,13 +13,16 @@
 //
 // Programs are SPMD: the same body runs on every simulated processor,
 // communicating only through the shared segment and the lock/barrier
-// primitives, exactly like a TreadMarks application:
+// primitives, exactly like a TreadMarks application. Shared memory is
+// typed — AllocArray reserves a Shared[T] array whose handle works on
+// every worker — with per-element ops and a span/bulk fast path that
+// resolves the coherence work once per page (see shared.go):
 //
 //	cl := adsm.NewCluster(adsm.Config{Procs: 8, Protocol: adsm.WFS})
-//	x := cl.Alloc(8)
+//	x := adsm.AllocArray[uint64](cl, 1)
 //	report, err := cl.Run(func(w *adsm.Worker) {
 //	    w.Lock(0)
-//	    w.WriteU64(x, w.ReadU64(x)+1)
+//	    x.Set(w, 0, x.At(w, 0)+1)
 //	    w.Unlock(0)
 //	    w.Barrier()
 //	})
@@ -144,6 +147,12 @@ func WithHomePolicy(h HomePolicy) func(*Config) {
 	return func(c *Config) { c.HomePolicy = h }
 }
 
+// WithPerWordSpans returns a Config mutator toggling the span fast path —
+// the harness span experiment uses it to run the same kernel both ways.
+func WithPerWordSpans(on bool) func(*Config) {
+	return func(c *Config) { c.PerWordSpans = on }
+}
+
 // ProtocolSpec describes a protocol implementation for RegisterProtocol.
 // Implementations live in internal/core (they plug into the engine's
 // Policy seam); the spec binds one to a name, aliases, and a description.
@@ -212,6 +221,14 @@ type Config struct {
 	// CollectDiffTimeline records the cluster-wide live-diff count over
 	// time (the paper's Figure 3).
 	CollectDiffTimeline bool
+	// PerWordSpans disables the span/bulk fast path: every Span, ReadAt,
+	// WriteAt and Fill degenerates to one protocol check per element, the
+	// cost model the per-word accessors pay. Coherence behavior is
+	// identical either way — the span experiment (`dsmbench -exp span`)
+	// and the equivalence tests run both and assert identical checksums
+	// and protocol counters — so the flag exists to measure and pin the
+	// fast path, not to change semantics.
+	PerWordSpans bool
 	// Transport selects the substrate carrying the protocol messages
 	// (default SimTransport, the deterministic simulator).
 	Transport Transport
@@ -266,6 +283,7 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.OwnershipQuantum > 0 {
 		p.OwnershipQuantum = sim.Time(cfg.OwnershipQuantum)
 	}
+	p.PerWordSpans = cfg.PerWordSpans
 	p.Runtime = cfg.runtimeFactory()
 	cl := &Cluster{c: core.New(p), cfg: cfg}
 	if cfg.CollectDiffTimeline {
@@ -278,9 +296,13 @@ func NewCluster(cfg Config) *Cluster {
 // Addr is a byte address within the shared segment.
 type Addr = int
 
-// Alloc reserves n bytes of zeroed shared memory (8-byte aligned). The
+// Alloc reserves n bytes of zeroed shared memory. The returned address is
+// guaranteed to be 8-byte aligned, so any supported element type placed at
+// it is naturally aligned and no element straddles a page boundary. The
 // pages are initially owned by processor 0, like Tmk_malloc. Must be
-// called before Run.
+// called before Run; n <= 0 panics (a zero-byte reservation is always a
+// caller bug — it would silently hand out an address aliasing the next
+// allocation). Prefer AllocArray for typed data.
 func (cl *Cluster) Alloc(n int) Addr {
 	if cl.ran {
 		panic("adsm: Alloc after Run")
@@ -289,7 +311,8 @@ func (cl *Cluster) Alloc(n int) Addr {
 }
 
 // AllocPageAligned reserves n bytes starting on a page boundary; use it to
-// control how data structures map onto coherence units.
+// control how data structures map onto coherence units. Like Alloc it
+// rejects n <= 0 with a panic.
 func (cl *Cluster) AllocPageAligned(n int) Addr {
 	if cl.ran {
 		panic("adsm: Alloc after Run")

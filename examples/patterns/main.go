@@ -17,22 +17,25 @@ func main() {
 	fmt.Println()
 
 	// Producer-consumer: node 0 writes, node 1 reads. The page moves but
-	// ownership never does; no twins, no diffs.
+	// ownership never does; no twins, no diffs. The producer's overwrite
+	// is one write span — one fault for the whole page.
 	{
 		cl := adsm.NewCluster(adsm.Config{Procs: 2, Protocol: adsm.WFS})
-		page := cl.AllocPageAligned(adsm.PageSize)
+		page := adsm.AllocArrayPageAligned[float64](cl, 512)
 		rep, err := cl.Run(func(w *adsm.Worker) {
 			for round := 0; round < 4; round++ {
 				if w.ID() == 0 {
 					w.Lock(0)
-					for i := 0; i < 512; i++ {
-						w.WriteF64(page+8*i, float64(round*1000+i))
-					}
+					page.Span(w, 0, 512, adsm.Write, func(i int, p []float64) {
+						for k := range p {
+							p[k] = float64(round*1000 + i + k)
+						}
+					})
 					w.Unlock(0)
 				}
 				w.Barrier()
 				if w.ID() == 1 {
-					_ = w.ReadF64(page)
+					_ = page.At(w, 0)
 				}
 				w.Barrier()
 			}
@@ -49,13 +52,13 @@ func main() {
 	// Ownership migrates on each write fault; still no twins.
 	{
 		cl := adsm.NewCluster(adsm.Config{Procs: 2, Protocol: adsm.WFS})
-		page := cl.AllocPageAligned(adsm.PageSize)
+		page := adsm.AllocArrayPageAligned[float64](cl, 512)
 		rep, err := cl.Run(func(w *adsm.Worker) {
 			for round := 0; round < 4; round++ {
 				if round%2 == w.ID() {
 					w.Lock(0)
-					v := w.ReadF64(page)
-					w.WriteF64(page, v+1)
+					v := page.At(w, 0)
+					page.Set(w, 0, v+1)
 					w.Unlock(0)
 				}
 				w.Barrier()
@@ -74,14 +77,14 @@ func main() {
 	// page falls back to twin-and-diff (MW) mode.
 	{
 		cl := adsm.NewCluster(adsm.Config{Procs: 2, Protocol: adsm.WFS})
-		page := cl.AllocPageAligned(adsm.PageSize)
+		page := adsm.AllocArrayPageAligned[float64](cl, 512)
 		rep, err := cl.Run(func(w *adsm.Worker) {
 			for i := 0; i < 128; i++ {
-				w.WriteF64(page+w.ID()*2048+8*i, float64(i))
+				page.Set(w, w.ID()*256+i, float64(i))
 				w.Compute(10 * time.Microsecond)
 			}
 			w.Barrier()
-			_ = w.ReadF64(page + (1-w.ID())*2048)
+			_ = page.At(w, (1-w.ID())*256)
 			w.Barrier()
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
-// Quickstart: a shared counter and a shared array on a simulated 4-node
-// DSM cluster, showing the basic API: allocate, run an SPMD program, use
-// locks and barriers, and read the protocol statistics.
+// Quickstart: a shared counter and a shared typed array on a simulated
+// 4-node DSM cluster, showing the basic API: allocate typed arrays, run an
+// SPMD program, use locks and barriers, bulk-write through a span, and
+// read the protocol statistics.
 package main
 
 import (
@@ -12,33 +13,40 @@ import (
 func main() {
 	cl := adsm.NewCluster(adsm.Config{Procs: 4, Protocol: adsm.WFS})
 
-	counter := cl.Alloc(8)
-	array := cl.AllocPageAligned(1024 * 8)
+	counter := adsm.AllocArray[uint64](cl, 1)
+	array := adsm.AllocArrayPageAligned[float64](cl, 1024)
 
 	report, err := cl.Run(func(w *adsm.Worker) {
 		// Each worker increments the shared counter under a lock.
 		for i := 0; i < 5; i++ {
 			w.Lock(0)
-			w.WriteU64(counter, w.ReadU64(counter)+1)
+			counter.Set(w, 0, counter.At(w, 0)+1)
 			w.Unlock(0)
 		}
 
-		// Each worker fills its own quarter of the array.
-		v := w.F64(array, 1024)
+		// Each worker fills its own quarter of the array through one
+		// span: the coherence work happens once per page, not once per
+		// element.
 		per := 1024 / w.Procs()
-		for i := w.ID() * per; i < (w.ID()+1)*per; i++ {
-			v.Set(i, float64(i)*0.5)
-		}
+		lo := w.ID() * per
+		array.Span(w, lo, lo+per, adsm.Write, func(i int, p []float64) {
+			for k := range p {
+				p[k] = float64(i+k) * 0.5
+			}
+		})
 		w.Barrier()
 
-		// After the barrier, everyone sees everything.
+		// After the barrier, everyone sees everything: sum with a read
+		// span.
 		sum := 0.0
-		for i := 0; i < 1024; i++ {
-			sum += v.At(i)
-		}
+		array.Span(w, 0, array.Len(), adsm.Read, func(_ int, p []float64) {
+			for _, v := range p {
+				sum += v
+			}
+		})
 		if w.ID() == 0 {
 			fmt.Printf("counter = %d (want 20), array sum = %.1f\n",
-				w.ReadU64(counter), sum)
+				counter.At(w, 0), sum)
 		}
 		w.Barrier()
 	})

@@ -3,7 +3,8 @@
 // "best result" word. All shared writes are a few bytes, which is exactly
 // where the multiple-writer protocols (small diffs) beat whole-page
 // ownership transfers — run it under different protocols and compare the
-// data volumes.
+// data volumes. Word-grained state like this is the element-op side of
+// the typed API: At/Set under locks, and AddLocked for the counter.
 package main
 
 import (
@@ -18,21 +19,21 @@ const tasks = 200
 func main() {
 	for _, proto := range []adsm.Protocol{adsm.MW, adsm.WFSWG, adsm.WFS, adsm.SW} {
 		cl := adsm.NewCluster(adsm.Config{Procs: 8, Protocol: proto})
-		head := cl.Alloc(8)
-		best := cl.Alloc(8)
-		done := cl.Alloc(8)
+		head := adsm.AllocArray[int64](cl, 1)
+		best := adsm.AllocArray[int64](cl, 1)
+		done := adsm.AllocArray[int64](cl, 1)
 
 		rep, err := cl.Run(func(w *adsm.Worker) {
 			if w.ID() == 0 {
-				w.WriteI64(best, 1<<40)
+				best.Set(w, 0, 1<<40)
 			}
 			w.Barrier()
 			for {
 				// Pop a task (a couple of words change on the queue page).
 				w.Lock(0)
-				h := w.ReadI64(head)
+				h := head.At(w, 0)
 				if h < tasks {
-					w.WriteI64(head, h+1)
+					head.Set(w, 0, h+1)
 				}
 				w.Unlock(0)
 				if h >= tasks {
@@ -44,17 +45,17 @@ func main() {
 				w.Compute(time.Duration(500+(h*13)%700) * time.Microsecond)
 
 				// Publish an improvement (small write under a lock).
-				if score < w.ReadI64(best) {
+				if score < best.At(w, 0) {
 					w.Lock(1)
-					if cur := w.ReadI64(best); score < cur {
-						w.WriteI64(best, score)
+					if cur := best.At(w, 0); score < cur {
+						best.Set(w, 0, score)
 					}
 					w.Unlock(1)
 				}
 			}
-			w.Lock(2)
-			w.WriteI64(done, w.ReadI64(done)+1)
-			w.Unlock(2)
+			// The lost-update-proof counter: read-modify-write under the
+			// named lock in one call.
+			done.AddLocked(w, 2, 0, 1)
 			w.Barrier()
 		})
 		if err != nil {

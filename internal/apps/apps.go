@@ -104,10 +104,10 @@ const chkLock = 255
 // accumulate adds a worker's local checksum contribution into the shared
 // slot under a lock (ordered, so it introduces no false sharing), keeping
 // the result collection parallel instead of a serial full-memory scan.
-func accumulate(w *adsm.Worker, slot adsm.Addr, local float64) {
+func accumulate(w *adsm.Worker, slot adsm.Shared[float64], local float64) {
 	w.Lock(chkLock)
-	before := w.ReadF64(slot)
-	w.WriteF64(slot, before+local)
+	before := slot.At(w, 0)
+	slot.Set(w, 0, before+local)
 	if debugAccumulate != nil {
 		debugAccumulate(w.ID(), before, local)
 	}

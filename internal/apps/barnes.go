@@ -23,8 +23,8 @@ type Barnes struct {
 	buildCost time.Duration
 	interCost time.Duration
 
-	bodies adsm.Addr // n records of bodyWords float64s
-	chk    adsm.Addr
+	bodies adsm.Shared[float64] // n records of bodyWords float64s
+	chk    adsm.Shared[float64]
 	result float64
 }
 
@@ -58,11 +58,12 @@ func (b *Barnes) Result() float64 { return b.result }
 
 // Setup allocates the shared body array (32 bodies per page).
 func (b *Barnes) Setup(cl *adsm.Cluster) {
-	b.bodies = cl.AllocPageAligned(b.n * bodyWords * 8)
-	b.chk = cl.AllocPageAligned(8)
+	b.bodies = adsm.AllocArrayPageAligned[float64](cl, b.n*bodyWords)
+	b.chk = adsm.AllocArrayPageAligned[float64](cl, 1)
 }
 
-func (b *Barnes) field(i, f int) adsm.Addr { return b.bodies + 8*(i*bodyWords+f) }
+// bfield returns the element index of field f of body i.
+func bfield(i, f int) int { return i*bodyWords + f }
 
 // --- private octree (plain Go memory, rebuilt per step per processor) ---
 
@@ -168,10 +169,10 @@ func (b *Barnes) Body(w *adsm.Worker) {
 		rng := rand.New(rand.NewSource(31337))
 		for i := 0; i < b.n; i++ {
 			for d := 0; d < 3; d++ {
-				w.WriteF64(b.field(i, bPos+d), 100*rng.Float64()-50)
-				w.WriteF64(b.field(i, bVel+d), rng.Float64()-0.5)
+				b.bodies.Set(w, bfield(i, bPos+d), 100*rng.Float64()-50)
+				b.bodies.Set(w, bfield(i, bVel+d), rng.Float64()-0.5)
 			}
-			w.WriteF64(b.field(i, bMass), 1.0/float64(b.n))
+			b.bodies.Set(w, bfield(i, bMass), 1.0/float64(b.n))
 		}
 	}
 	w.Barrier()
@@ -183,10 +184,8 @@ func (b *Barnes) Body(w *adsm.Worker) {
 		root := newOT([3]float64{0, 0, 0}, 128)
 		pos := make([][3]float64, b.n)
 		for i := 0; i < b.n; i++ {
-			for d := 0; d < 3; d++ {
-				pos[i][d] = w.ReadF64(b.field(i, bPos+d))
-			}
-			root.insert(pos[i], w.ReadF64(b.field(i, bMass)), i)
+			b.bodies.ReadAt(w, pos[i][:], bfield(i, bPos))
+			root.insert(pos[i], b.bodies.At(w, bfield(i, bMass)), i)
 		}
 		w.Compute(b.buildCost * time.Duration(b.n))
 
@@ -197,9 +196,7 @@ func (b *Barnes) Body(w *adsm.Worker) {
 		for i := w.ID(); i < b.n; i += w.Procs() {
 			var acc [3]float64
 			inters += root.force(pos[i], i, b.theta, &acc)
-			for d := 0; d < 3; d++ {
-				w.WriteF64(b.field(i, bAcc+d), acc[d])
-			}
+			b.bodies.WriteAt(w, acc[:], bfield(i, bAcc))
 		}
 		w.Compute(b.interCost * time.Duration(inters))
 		w.Barrier()
@@ -207,9 +204,9 @@ func (b *Barnes) Body(w *adsm.Worker) {
 		// Integrate our bodies.
 		for i := w.ID(); i < b.n; i += w.Procs() {
 			for d := 0; d < 3; d++ {
-				v := w.ReadF64(b.field(i, bVel+d)) + dt*w.ReadF64(b.field(i, bAcc+d))
-				w.WriteF64(b.field(i, bVel+d), v)
-				w.WriteF64(b.field(i, bPos+d), w.ReadF64(b.field(i, bPos+d))+dt*v)
+				v := b.bodies.At(w, bfield(i, bVel+d)) + dt*b.bodies.At(w, bfield(i, bAcc+d))
+				b.bodies.Set(w, bfield(i, bVel+d), v)
+				b.bodies.Set(w, bfield(i, bPos+d), b.bodies.At(w, bfield(i, bPos+d))+dt*v)
 			}
 		}
 		w.Barrier()
@@ -218,13 +215,13 @@ func (b *Barnes) Body(w *adsm.Worker) {
 	var sum float64
 	for i := w.ID(); i < b.n; i += w.Procs() {
 		for d := 0; d < 3; d++ {
-			sum += w.ReadF64(b.field(i, bPos+d))
+			sum += b.bodies.At(w, bfield(i, bPos+d))
 		}
 	}
 	accumulate(w, b.chk, sum)
 	w.Barrier()
 	if w.ID() == 0 {
-		b.result = w.ReadF64(b.chk)
+		b.result = b.chk.At(w, 0)
 	}
 	w.Barrier()
 }

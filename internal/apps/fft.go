@@ -16,14 +16,19 @@ import (
 // shared residual array, updated without locks at distinct offsets, is the
 // one write-write falsely shared page with tiny writes that the paper
 // reports (0.03% of pages, 28-byte modifications).
+//
+// The slab overwrite is one write span (one fault per slab page instead of
+// one per point); the transpose writes its B slab through a span while
+// reading A per element — the read stride is n^2 complex values, the
+// pattern spans cannot help with.
 type FFT struct {
 	n     int // grid edge: n^3 points
 	iters int
 
 	pointCost time.Duration
 
-	a, b   adsm.Addr // n^3 complex values (2 float64 each)
-	chk    adsm.Addr // one page of per-proc residuals (the small-FS page)
+	a, b   adsm.Shared[float64] // n^3 complex values (2 float64 each)
+	chk    adsm.Shared[float64] // one page of per-proc residuals (the small-FS page)
 	result float64
 }
 
@@ -47,15 +52,14 @@ func (f *FFT) Result() float64 { return f.result }
 // Setup allocates the two grids and the residual page.
 func (f *FFT) Setup(cl *adsm.Cluster) {
 	pts := f.n * f.n * f.n
-	f.a = cl.AllocPageAligned(pts * 16)
-	f.b = cl.AllocPageAligned(pts * 16)
-	f.chk = cl.AllocPageAligned(adsm.PageSize)
+	f.a = adsm.AllocArrayPageAligned[float64](cl, pts*2)
+	f.b = adsm.AllocArrayPageAligned[float64](cl, pts*2)
+	f.chk = adsm.AllocArrayPageAligned[float64](cl, adsm.PageSize/8)
 }
 
-// re/im address the real and imaginary parts of point (x,y,z) of grid g.
-func (f *FFT) re(g adsm.Addr, x, y, z int) adsm.Addr {
-	return g + 16*((z*f.n+y)*f.n+x)
-}
+// re returns the element index of the real part of point (x,y,z); the
+// imaginary part follows at re+1.
+func (f *FFT) re(x, y, z int) int { return 2 * ((z*f.n+y)*f.n + x) }
 
 // val is the deterministic "spectral" value the compute phase produces.
 func val(it, x, y, z int) float64 {
@@ -67,51 +71,58 @@ func val(it, x, y, z int) float64 {
 func (f *FFT) Body(w *adsm.Worker) {
 	zlo, zhi := band(f.n, w.Procs(), w.ID())
 	slabPts := (zhi - zlo) * f.n * f.n
+	n2 := f.n * f.n
 
 	for it := 0; it < f.iters; it++ {
 		// Local FFT butterflies on our slab of A: every element of our
-		// slab's pages is overwritten.
-		for z := zlo; z < zhi; z++ {
-			for y := 0; y < f.n; y++ {
-				for x := 0; x < f.n; x++ {
-					v := val(it, x, y, z)
-					w.WriteF64(f.re(f.a, x, y, z), v)
-					w.WriteF64(f.re(f.a, x, y, z)+8, -v)
+		// slab's pages is overwritten through one write span.
+		f.a.Span(w, f.re(0, 0, zlo), f.re(0, 0, zhi), adsm.Write, func(i0 int, p []float64) {
+			for k := range p {
+				e := i0 + k
+				pt := e / 2
+				x, y, z := pt%f.n, (pt/f.n)%f.n, pt/n2
+				v := val(it, x, y, z)
+				if e%2 != 0 {
+					v = -v
 				}
+				p[k] = v
 			}
-		}
+		})
 		w.Compute(f.pointCost * time.Duration(slabPts))
 		w.Barrier()
 
 		// Transpose: B(x,y,z) = A(z,y,x). Our writes stay in our slab of
-		// B; our reads sweep every other processor's slab of A.
+		// B (a write span); our reads sweep every other processor's slab
+		// of A with an n^2-element stride, element by element.
 		var local float64
-		for z := zlo; z < zhi; z++ {
-			for y := 0; y < f.n; y++ {
-				for x := 0; x < f.n; x++ {
-					v := w.ReadF64(f.re(f.a, z, y, x))
-					w.WriteF64(f.re(f.b, x, y, z), v)
-					w.WriteF64(f.re(f.b, x, y, z)+8, -v)
-					local += v
-				}
+		f.b.Span(w, f.re(0, 0, zlo), f.re(0, 0, zhi), adsm.Write, func(i0 int, p []float64) {
+			// Chunks are page-aligned and the slab starts on an even
+			// element, so every chunk holds whole (re, im) pairs.
+			for k := 0; k < len(p); k += 2 {
+				pt := (i0 + k) / 2
+				x, y, z := pt%f.n, (pt/f.n)%f.n, pt/n2
+				v := f.a.At(w, f.re(z, y, x))
+				p[k] = v
+				p[k+1] = -v
+				local += v
 			}
-		}
+		})
 		w.Compute(f.pointCost / 4 * time.Duration(slabPts))
 
 		// Per-processor residual at a distinct offset of one shared page,
 		// written without synchronization: small write-write false sharing.
-		w.WriteF64(f.chk+8*w.ID(), local)
+		f.chk.Set(w, w.ID(), local)
 		w.Barrier()
 	}
 
 	if w.ID() == 0 {
 		var sum float64
 		for p := 0; p < w.Procs(); p++ {
-			sum += w.ReadF64(f.chk + 8*p)
+			sum += f.chk.At(w, p)
 		}
 		// Sample B to fold the transpose result into the checksum.
 		for z := 0; z < f.n; z += 3 {
-			sum += w.ReadF64(f.re(f.b, z%f.n, (z*7)%f.n, z))
+			sum += f.b.At(w, f.re(z%f.n, (z*7)%f.n, z))
 		}
 		f.result = sum
 	}

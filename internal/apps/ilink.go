@@ -24,8 +24,8 @@ type ILINK struct {
 
 	elemCost time.Duration
 
-	gen    adsm.Addr // arrays*size float64
-	total  adsm.Addr // master's accumulator
+	gen    adsm.Shared[float64] // arrays*size float64
+	total  adsm.Shared[float64] // master's accumulator
 	result float64
 }
 
@@ -55,18 +55,20 @@ func (il *ILINK) Result() float64 { return il.result }
 
 // Setup allocates the genarray pool and the accumulator.
 func (il *ILINK) Setup(cl *adsm.Cluster) {
-	il.gen = cl.AllocPageAligned(il.arrays * il.size * 8)
-	il.total = cl.AllocPageAligned(adsm.PageSize)
+	il.gen = adsm.AllocArrayPageAligned[float64](cl, il.arrays*il.size)
+	il.total = adsm.AllocArrayPageAligned[float64](cl, adsm.PageSize/8)
 }
 
-// Body runs the update/sum rounds.
+// Body runs the update/sum rounds. The sparse round-robin element
+// updates are the anti-span workload (each processor touches scattered
+// ~25% of each page), so the kernel stays on element ops by design.
 func (il *ILINK) Body(w *adsm.Worker) {
-	g := w.F64(il.gen, il.arrays*il.size)
+	g := il.gen
 
 	// The master seeds the non-zero elements.
 	if w.ID() == 0 {
 		for k, idx := range il.nnz {
-			g.Set(idx, 1.0+0.001*float64(k%997))
+			g.Set(w, idx, 1.0+0.001*float64(k%997))
 		}
 	}
 	w.Barrier()
@@ -77,8 +79,8 @@ func (il *ILINK) Body(w *adsm.Worker) {
 		mine := 0
 		for k := w.ID(); k < len(il.nnz); k += w.Procs() {
 			idx := il.nnz[k]
-			x := g.At(idx)
-			g.Set(idx, x*1.0005+0.0003)
+			x := g.At(w, idx)
+			g.Set(w, idx, x*1.0005+0.0003)
 			mine++
 		}
 		w.Compute(il.elemCost * time.Duration(mine))
@@ -89,17 +91,17 @@ func (il *ILINK) Body(w *adsm.Worker) {
 		if w.ID() == 0 {
 			var sum float64
 			for _, idx := range il.nnz {
-				sum += g.At(idx)
+				sum += g.At(w, idx)
 			}
 			w.Lock(0)
-			w.WriteF64(il.total, sum)
+			il.total.Set(w, 0, sum)
 			w.Unlock(0)
 		}
 		w.Barrier()
 	}
 
 	if w.ID() == 0 {
-		il.result = w.ReadF64(il.total)
+		il.result = il.total.At(w, 0)
 	}
 	w.Barrier()
 }

@@ -14,6 +14,10 @@ import (
 // bucket pages are completely overwritten by each processor in turn
 // (Table 2: large granularity, no false sharing). MW suffers diff
 // accumulation here; SW and the adaptive protocols move whole pages.
+//
+// The merge and ranking sweeps are spans: the merge is one read-modify-
+// write span over the whole bucket array (one fault check per bucket page
+// instead of one per bucket), the ranking scan a read span.
 type IS struct {
 	totalKeys int
 	buckets   int
@@ -21,7 +25,7 @@ type IS struct {
 	keyCost   time.Duration
 	addCost   time.Duration
 
-	bkt    adsm.Addr
+	bkt    adsm.Shared[int64]
 	result float64
 }
 
@@ -44,7 +48,7 @@ func (is *IS) Result() float64 { return is.result }
 
 // Setup allocates the shared bucket array (2048 x 8 B = 4 pages).
 func (is *IS) Setup(cl *adsm.Cluster) {
-	is.bkt = cl.AllocPageAligned(is.buckets * 8)
+	is.bkt = adsm.AllocArrayPageAligned[int64](cl, is.buckets)
 }
 
 // Body runs the rankings.
@@ -58,7 +62,6 @@ func (is *IS) Body(w *adsm.Worker) {
 	}
 	klo, khi := band(is.totalKeys, w.Procs(), w.ID())
 	keys := all[klo:khi]
-	b := w.I64(is.bkt, is.buckets)
 
 	for it := 0; it < is.iters; it++ {
 		// Local counting in private buckets (compute only).
@@ -71,9 +74,11 @@ func (is *IS) Body(w *adsm.Worker) {
 		// Sum into the shared buckets under the lock: the bucket pages
 		// migrate from processor to processor and are fully overwritten.
 		w.Lock(0)
-		for i := 0; i < is.buckets; i++ {
-			b.Set(i, b.At(i)+counts[i])
-		}
+		is.bkt.Span(w, 0, is.buckets, adsm.ReadWrite, func(i0 int, p []int64) {
+			for k := range p {
+				p[k] += counts[i0+k]
+			}
+		})
 		w.Unlock(0)
 		w.Compute(is.addCost * time.Duration(is.buckets))
 		w.Barrier()
@@ -81,9 +86,11 @@ func (is *IS) Body(w *adsm.Worker) {
 		// Ranking phase: every processor scans the bucket totals to rank
 		// its own keys (reads the shared array).
 		var rank int64
-		for i := 0; i < is.buckets; i++ {
-			rank += b.At(i)
-		}
+		is.bkt.Span(w, 0, is.buckets, adsm.Read, func(_ int, p []int64) {
+			for _, v := range p {
+				rank += v
+			}
+		})
 		w.Compute(is.keyCost * time.Duration(len(keys)))
 		_ = rank
 		w.Barrier()
@@ -91,9 +98,11 @@ func (is *IS) Body(w *adsm.Worker) {
 
 	if w.ID() == 0 {
 		var sum float64
-		for i := 0; i < is.buckets; i++ {
-			sum += float64(int64(i)) * float64(b.At(i))
-		}
+		is.bkt.Span(w, 0, is.buckets, adsm.Read, func(i0 int, p []int64) {
+			for k, v := range p {
+				sum += float64(int64(i0+k)) * float64(v)
+			}
+		})
 		is.result = sum
 	}
 	w.Barrier()

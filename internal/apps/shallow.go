@@ -15,20 +15,27 @@ import (
 // fall inside pages: the moderate write-write false sharing of Table 2
 // (13.9% in the paper). WFS's per-page adaptation shines here: boundary
 // pages go MW, interior pages stay SW.
+//
+// Each phase snapshots its input rows with bulk reads and produces its
+// output rows through write spans, one span per (grid, row): within a
+// phase no output grid is also an input (the data dependencies all cross
+// barriers, and phase 3's in-place updates depend only on same-index
+// inputs), so the snapshot order is value-identical to the per-element
+// interleaving, and the mid-page row ends exercise spans that start and
+// stop inside coherence units.
 type Shallow struct {
 	rows, cols, iters int
 	elemCost          time.Duration
 
 	// Thirteen grids as in the original code.
-	u, v, p       adsm.Addr
-	unew, vnew    adsm.Addr
-	pnew          adsm.Addr
-	uold, vold    adsm.Addr
-	pold          adsm.Addr
-	cu, cv, z, h  adsm.Addr
-	chk           adsm.Addr
-	result        float64
-	gridWordBytes int
+	u, v, p      adsm.Shared[float64]
+	unew, vnew   adsm.Shared[float64]
+	pnew         adsm.Shared[float64]
+	uold, vold   adsm.Shared[float64]
+	pold         adsm.Shared[float64]
+	cu, cv, z, h adsm.Shared[float64]
+	chk          adsm.Shared[float64]
+	result       float64
 }
 
 // NewShallow builds the Shallow instance (quick: 48x72 x4; full: 128x144
@@ -52,16 +59,14 @@ func (sh *Shallow) Result() float64 { return sh.result }
 // comes only from band boundaries falling inside pages (the paper's
 // pattern), not from unrelated grids colliding in one page.
 func (sh *Shallow) Setup(cl *adsm.Cluster) {
-	n := sh.rows * sh.cols * 8
-	alloc := func() adsm.Addr { return cl.AllocPageAligned(n) }
+	n := sh.rows * sh.cols
+	alloc := func() adsm.Shared[float64] { return adsm.AllocArrayPageAligned[float64](cl, n) }
 	sh.u, sh.v, sh.p = alloc(), alloc(), alloc()
 	sh.unew, sh.vnew, sh.pnew = alloc(), alloc(), alloc()
 	sh.uold, sh.vold, sh.pold = alloc(), alloc(), alloc()
 	sh.cu, sh.cv, sh.z, sh.h = alloc(), alloc(), alloc(), alloc()
-	sh.chk = cl.AllocPageAligned(8)
+	sh.chk = adsm.AllocArrayPageAligned[float64](cl, 1)
 }
-
-func (sh *Shallow) at(g adsm.Addr, i, j int) adsm.Addr { return g + 8*(i*sh.cols+j) }
 
 // wrap implements the model's periodic boundaries.
 func (sh *Shallow) wrap(i, n int) int {
@@ -74,26 +79,51 @@ func (sh *Shallow) wrap(i, n int) int {
 	return i
 }
 
+// readRow snapshots row i of grid g into dst.
+func (sh *Shallow) readRow(w *adsm.Worker, g adsm.Shared[float64], i int, dst []float64) {
+	g.ReadAt(w, dst, i*sh.cols)
+}
+
+// writeRow produces row i of grid g through a write span: fn computes
+// element j of the row.
+func (sh *Shallow) writeRow(w *adsm.Worker, g adsm.Shared[float64], i int, fn func(j int) float64) {
+	rlo := i * sh.cols
+	g.Span(w, rlo, rlo+sh.cols, adsm.Write, func(i0 int, p []float64) {
+		for k := range p {
+			p[k] = fn(i0 + k - rlo)
+		}
+	})
+}
+
 // Body runs the time steps.
 func (sh *Shallow) Body(w *adsm.Worker) {
 	lo, hi := band(sh.rows, w.Procs(), w.ID())
+	cols := sh.cols
+	buf := func() []float64 { return make([]float64, cols) }
 
 	// Initial conditions: a smooth height wave, zero velocities. (The
 	// field must be smooth: rough initial data makes the unstaggered
 	// finite-difference scheme blow up, as it would in the real code.)
 	for i := lo; i < hi; i++ {
-		for j := 0; j < sh.cols; j++ {
-			h0 := 50.0 + 4.0*math.Sin(2*math.Pi*float64(i)/float64(sh.rows))*
-				math.Cos(2*math.Pi*float64(j)/float64(sh.cols))
-			w.WriteF64(sh.at(sh.p, i, j), h0)
-			w.WriteF64(sh.at(sh.pold, i, j), h0)
-			w.WriteF64(sh.at(sh.u, i, j), 0)
-			w.WriteF64(sh.at(sh.v, i, j), 0)
-			w.WriteF64(sh.at(sh.uold, i, j), 0)
-			w.WriteF64(sh.at(sh.vold, i, j), 0)
+		i := i
+		h0 := func(j int) float64 {
+			return 50.0 + 4.0*math.Sin(2*math.Pi*float64(i)/float64(sh.rows))*
+				math.Cos(2*math.Pi*float64(j)/float64(cols))
 		}
+		zero := func(int) float64 { return 0 }
+		sh.writeRow(w, sh.p, i, h0)
+		sh.writeRow(w, sh.pold, i, h0)
+		sh.writeRow(w, sh.u, i, zero)
+		sh.writeRow(w, sh.v, i, zero)
+		sh.writeRow(w, sh.uold, i, zero)
+		sh.writeRow(w, sh.vold, i, zero)
 	}
 	w.Barrier()
+
+	pi, pip, ui, vi, vip := buf(), buf(), buf(), buf(), buf()
+	zi, cui, cuim, cvi, cvim, hi2, him := buf(), buf(), buf(), buf(), buf(), buf(), buf()
+	uoldi, voldi, poldi := buf(), buf(), buf()
+	uni, vni, pni := buf(), buf(), buf()
 
 	const dt, dx = 0.02, 1.0
 	for it := 0; it < sh.iters; it++ {
@@ -101,62 +131,85 @@ func (sh *Shallow) Body(w *adsm.Worker) {
 		// (reads the neighbouring band's edge rows).
 		for i := lo; i < hi; i++ {
 			ip := sh.wrap(i+1, sh.rows)
-			for j := 0; j < sh.cols; j++ {
-				jp := sh.wrap(j+1, sh.cols)
-				pc := w.ReadF64(sh.at(sh.p, i, j))
-				w.WriteF64(sh.at(sh.cu, i, j), 0.5*(pc+w.ReadF64(sh.at(sh.p, ip, j)))*w.ReadF64(sh.at(sh.u, i, j)))
-				w.WriteF64(sh.at(sh.cv, i, j), 0.5*(pc+w.ReadF64(sh.at(sh.p, i, jp)))*w.ReadF64(sh.at(sh.v, i, j)))
-				w.WriteF64(sh.at(sh.z, i, j),
-					(w.ReadF64(sh.at(sh.v, ip, j))-w.ReadF64(sh.at(sh.v, i, j))-
-						w.ReadF64(sh.at(sh.u, i, jp))+w.ReadF64(sh.at(sh.u, i, j)))/(dx*(pc+1)))
-				w.WriteF64(sh.at(sh.h, i, j),
-					pc+0.25*(w.ReadF64(sh.at(sh.u, i, j))*w.ReadF64(sh.at(sh.u, i, j))+
-						w.ReadF64(sh.at(sh.v, i, j))*w.ReadF64(sh.at(sh.v, i, j))))
-			}
-			w.Compute(sh.elemCost * time.Duration(sh.cols))
+			sh.readRow(w, sh.p, i, pi)
+			sh.readRow(w, sh.p, ip, pip)
+			sh.readRow(w, sh.u, i, ui)
+			sh.readRow(w, sh.v, i, vi)
+			sh.readRow(w, sh.v, ip, vip)
+			sh.writeRow(w, sh.cu, i, func(j int) float64 {
+				return 0.5 * (pi[j] + pip[j]) * ui[j]
+			})
+			sh.writeRow(w, sh.cv, i, func(j int) float64 {
+				return 0.5 * (pi[j] + pi[sh.wrap(j+1, cols)]) * vi[j]
+			})
+			sh.writeRow(w, sh.z, i, func(j int) float64 {
+				jp := sh.wrap(j+1, cols)
+				return (vip[j] - vi[j] - ui[jp] + ui[j]) / (dx * (pi[j] + 1))
+			})
+			sh.writeRow(w, sh.h, i, func(j int) float64 {
+				return pi[j] + 0.25*(ui[j]*ui[j]+vi[j]*vi[j])
+			})
+			w.Compute(sh.elemCost * time.Duration(cols))
 		}
 		w.Barrier()
 
 		// Phase 2: advance u, v, p using the fluxes (reads neighbours).
 		for i := lo; i < hi; i++ {
 			im := sh.wrap(i-1, sh.rows)
-			for j := 0; j < sh.cols; j++ {
-				jm := sh.wrap(j-1, sh.cols)
-				w.WriteF64(sh.at(sh.unew, i, j),
-					w.ReadF64(sh.at(sh.uold, i, j))+
-						dt*(w.ReadF64(sh.at(sh.z, i, j))*0.5*(w.ReadF64(sh.at(sh.cv, i, j))+w.ReadF64(sh.at(sh.cv, im, j)))-
-							(w.ReadF64(sh.at(sh.h, i, j))-w.ReadF64(sh.at(sh.h, im, j)))/dx))
-				w.WriteF64(sh.at(sh.vnew, i, j),
-					w.ReadF64(sh.at(sh.vold, i, j))-
-						dt*(w.ReadF64(sh.at(sh.z, i, j))*0.5*(w.ReadF64(sh.at(sh.cu, i, j))+w.ReadF64(sh.at(sh.cu, i, jm)))+
-							(w.ReadF64(sh.at(sh.h, i, j))-w.ReadF64(sh.at(sh.h, i, jm)))/dx))
-				w.WriteF64(sh.at(sh.pnew, i, j),
-					w.ReadF64(sh.at(sh.pold, i, j))-
-						dt*((w.ReadF64(sh.at(sh.cu, i, j))-w.ReadF64(sh.at(sh.cu, im, j)))/dx+
-							(w.ReadF64(sh.at(sh.cv, i, j))-w.ReadF64(sh.at(sh.cv, i, jm)))/dx))
-			}
-			w.Compute(sh.elemCost * time.Duration(sh.cols))
+			sh.readRow(w, sh.z, i, zi)
+			sh.readRow(w, sh.cu, i, cui)
+			sh.readRow(w, sh.cu, im, cuim)
+			sh.readRow(w, sh.cv, i, cvi)
+			sh.readRow(w, sh.cv, im, cvim)
+			sh.readRow(w, sh.h, i, hi2)
+			sh.readRow(w, sh.h, im, him)
+			sh.readRow(w, sh.uold, i, uoldi)
+			sh.readRow(w, sh.vold, i, voldi)
+			sh.readRow(w, sh.pold, i, poldi)
+			sh.writeRow(w, sh.unew, i, func(j int) float64 {
+				return uoldi[j] + dt*(zi[j]*0.5*(cvi[j]+cvim[j])-(hi2[j]-him[j])/dx)
+			})
+			sh.writeRow(w, sh.vnew, i, func(j int) float64 {
+				jm := sh.wrap(j-1, cols)
+				return voldi[j] - dt*(zi[j]*0.5*(cui[j]+cui[jm])+(hi2[j]-hi2[jm])/dx)
+			})
+			sh.writeRow(w, sh.pnew, i, func(j int) float64 {
+				jm := sh.wrap(j-1, cols)
+				return poldi[j] - dt*((cui[j]-cuim[j])/dx+(cvi[j]-cvi[jm])/dx)
+			})
+			w.Compute(sh.elemCost * time.Duration(cols))
 		}
 		w.Barrier()
 
-		// Phase 3: time smoothing (writes only our own rows).
+		// Phase 3: time smoothing (writes only our own rows). The state
+		// grids are both input and output here, so every input row is
+		// buffered before the first span write; within a row each output
+		// element depends only on same-index inputs, exactly the
+		// per-element read-then-write order.
 		const alpha = 0.001
 		for i := lo; i < hi; i++ {
-			for j := 0; j < sh.cols; j++ {
-				uc := w.ReadF64(sh.at(sh.u, i, j))
-				vc := w.ReadF64(sh.at(sh.v, i, j))
-				pc := w.ReadF64(sh.at(sh.p, i, j))
-				un := w.ReadF64(sh.at(sh.unew, i, j))
-				vn := w.ReadF64(sh.at(sh.vnew, i, j))
-				pn := w.ReadF64(sh.at(sh.pnew, i, j))
-				w.WriteF64(sh.at(sh.uold, i, j), uc+alpha*(un-2*uc+w.ReadF64(sh.at(sh.uold, i, j))))
-				w.WriteF64(sh.at(sh.vold, i, j), vc+alpha*(vn-2*vc+w.ReadF64(sh.at(sh.vold, i, j))))
-				w.WriteF64(sh.at(sh.pold, i, j), pc+alpha*(pn-2*pc+w.ReadF64(sh.at(sh.pold, i, j))))
-				w.WriteF64(sh.at(sh.u, i, j), un)
-				w.WriteF64(sh.at(sh.v, i, j), vn)
-				w.WriteF64(sh.at(sh.p, i, j), pn)
-			}
-			w.Compute(sh.elemCost * time.Duration(sh.cols) / 2)
+			sh.readRow(w, sh.u, i, ui)
+			sh.readRow(w, sh.v, i, vi)
+			sh.readRow(w, sh.p, i, pi)
+			sh.readRow(w, sh.unew, i, uni)
+			sh.readRow(w, sh.vnew, i, vni)
+			sh.readRow(w, sh.pnew, i, pni)
+			sh.readRow(w, sh.uold, i, uoldi)
+			sh.readRow(w, sh.vold, i, voldi)
+			sh.readRow(w, sh.pold, i, poldi)
+			sh.writeRow(w, sh.uold, i, func(j int) float64 {
+				return ui[j] + alpha*(uni[j]-2*ui[j]+uoldi[j])
+			})
+			sh.writeRow(w, sh.vold, i, func(j int) float64 {
+				return vi[j] + alpha*(vni[j]-2*vi[j]+voldi[j])
+			})
+			sh.writeRow(w, sh.pold, i, func(j int) float64 {
+				return pi[j] + alpha*(pni[j]-2*pi[j]+poldi[j])
+			})
+			sh.writeRow(w, sh.u, i, func(j int) float64 { return uni[j] })
+			sh.writeRow(w, sh.v, i, func(j int) float64 { return vni[j] })
+			sh.writeRow(w, sh.p, i, func(j int) float64 { return pni[j] })
+			w.Compute(sh.elemCost * time.Duration(cols) / 2)
 		}
 		w.Barrier()
 	}
@@ -165,16 +218,18 @@ func (sh *Shallow) Body(w *adsm.Worker) {
 	// misplaced cells cannot cancel out.
 	var sum float64
 	for i := lo; i < hi; i++ {
-		for j := 0; j < sh.cols; j++ {
+		sh.readRow(w, sh.p, i, pi)
+		sh.readRow(w, sh.u, i, ui)
+		sh.readRow(w, sh.v, i, vi)
+		for j := 0; j < cols; j++ {
 			wgt := 1.0 + float64((i*7+j*13)%101)/100.0
-			sum += wgt * (w.ReadF64(sh.at(sh.p, i, j)) - 50.0 +
-				10*w.ReadF64(sh.at(sh.u, i, j)) + 10*w.ReadF64(sh.at(sh.v, i, j)))
+			sum += wgt * (pi[j] - 50.0 + 10*ui[j] + 10*vi[j])
 		}
 	}
 	accumulate(w, sh.chk, sum)
 	w.Barrier()
 	if w.ID() == 0 {
-		sh.result = w.ReadF64(sh.chk)
+		sh.result = sh.chk.At(w, 0)
 	}
 	w.Barrier()
 }

@@ -88,13 +88,9 @@ func TestShallowForensic(t *testing.T) {
 			gu = make([]float64, sh.rows*sh.cols)
 			gv = make([]float64, sh.rows*sh.cols)
 			gp = make([]float64, sh.rows*sh.cols)
-			for i := 0; i < sh.rows; i++ {
-				for j := 0; j < sh.cols; j++ {
-					gu[i*sh.cols+j] = w.ReadF64(sh.at(sh.u, i, j))
-					gv[i*sh.cols+j] = w.ReadF64(sh.at(sh.v, i, j))
-					gp[i*sh.cols+j] = w.ReadF64(sh.at(sh.p, i, j))
-				}
-			}
+			sh.u.ReadAt(w, gu, 0)
+			sh.v.ReadAt(w, gv, 0)
+			sh.p.ReadAt(w, gp, 0)
 		}
 	})
 	if err != nil {

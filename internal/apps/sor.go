@@ -14,12 +14,19 @@ import (
 // granularity, 0% falsely shared), and the number of modified elements
 // grows over the iterations (the boundary values diffuse inward), which is
 // what drives WFS+WG's mid-run MW->SW switch in the paper.
+//
+// SOR is the flagship span kernel: each red-black sweep snapshots the two
+// neighbour rows with bulk reads and updates the own row through a single
+// ReadWrite span, so the protocol work is one fault check per row (page)
+// where the per-word version paid one per element. The fault sequence per
+// row — read row i-1, read row i+1, read-then-write row i — is exactly
+// what the per-word loop produced.
 type SOR struct {
 	rows, cols, iters int
 	elemCost          time.Duration
 
-	grid   adsm.Addr
-	chk    adsm.Addr
+	grid   adsm.Shared[float64]
+	chk    adsm.Shared[float64]
 	result float64
 }
 
@@ -39,28 +46,40 @@ func (s *SOR) DataSet() string {
 }
 func (s *SOR) Result() float64 { return s.result }
 
-// Setup allocates the grid page-aligned so each row is one page.
+// Setup allocates the grid page-aligned so each row is one page. The
+// sweep's span callbacks index p across the whole row (the left/right
+// stencil neighbours live in the same chunk), which is only sound when a
+// row never splits into chunks — assert the geometry rather than rely on
+// the constant.
 func (s *SOR) Setup(cl *adsm.Cluster) {
-	s.grid = cl.AllocPageAligned(s.rows * s.cols * 8)
-	s.chk = cl.AllocPageAligned(8)
+	if s.cols*8 != adsm.PageSize {
+		panic(fmt.Sprintf("sor: %d-column rows do not tile %d-byte pages", s.cols, adsm.PageSize))
+	}
+	s.grid = adsm.AllocArrayPageAligned[float64](cl, s.rows*s.cols)
+	s.chk = adsm.AllocArrayPageAligned[float64](cl, 1)
 }
 
-func (s *SOR) at(i, j int) adsm.Addr { return s.grid + 8*(i*s.cols+j) }
+// row returns the element range [lo, hi) of row i.
+func (s *SOR) row(i int) (lo, hi int) { return i * s.cols, (i + 1) * s.cols }
 
 // Body runs the red-black sweeps.
 func (s *SOR) Body(w *adsm.Worker) {
 	lo, hi := band(s.rows, w.Procs(), w.ID())
 
 	// Boundary initialization: edges at 1.0, interior 0 (allocation is
-	// zeroed). Each band initializes its own edge cells.
+	// zeroed). Each band initializes its own edge cells, one write span
+	// per row.
 	for i := lo; i < hi; i++ {
-		w.WriteF64(s.at(i, 0), 1.0)
-		w.WriteF64(s.at(i, s.cols-1), 1.0)
-		if i == 0 || i == s.rows-1 {
-			for j := 0; j < s.cols; j++ {
-				w.WriteF64(s.at(i, j), 1.0)
+		rlo, rhi := s.row(i)
+		full := i == 0 || i == s.rows-1
+		s.grid.Span(w, rlo, rhi, adsm.Write, func(i0 int, p []float64) {
+			for k := range p {
+				j := i0 + k - rlo
+				if full || j == 0 || j == s.cols-1 {
+					p[k] = 1.0
+				}
 			}
-		}
+		})
 	}
 	w.Barrier()
 
@@ -71,31 +90,43 @@ func (s *SOR) Body(w *adsm.Worker) {
 	if uhi == s.rows {
 		uhi = s.rows - 1
 	}
+	up := make([]float64, s.cols)
+	down := make([]float64, s.cols)
 	for it := 0; it < s.iters; it++ {
 		for phase := 0; phase < 2; phase++ {
 			for i := ulo; i < uhi; i++ {
-				for j := 1 + (i+phase)%2; j < s.cols-1; j += 2 {
-					v := 0.25 * (w.ReadF64(s.at(i-1, j)) + w.ReadF64(s.at(i+1, j)) +
-						w.ReadF64(s.at(i, j-1)) + w.ReadF64(s.at(i, j+1)))
-					w.WriteF64(s.at(i, j), v)
-				}
+				// Snapshot the neighbour rows (red-black never reads a
+				// value updated in the same phase, so the snapshot equals
+				// the per-element read order), then relax the own row in
+				// place. Row i±1 values of this phase's parity are
+				// untouched; row i's left/right neighbours within the span
+				// are the other colour, also untouched.
+				s.grid.ReadAt(w, up, i*s.cols-s.cols)
+				s.grid.ReadAt(w, down, (i+1)*s.cols)
+				rlo, rhi := s.row(i)
+				s.grid.Span(w, rlo, rhi, adsm.ReadWrite, func(i0 int, p []float64) {
+					for j := 1 + (i+phase)%2; j < s.cols-1; j += 2 {
+						k := rlo + j - i0
+						p[k] = 0.25 * (up[j] + down[j] + p[k-1] + p[k+1])
+					}
+				})
 				w.Compute(s.elemCost * time.Duration(s.cols/2))
 			}
 			w.Barrier()
 		}
 	}
 
-	// Each band sums its own rows (already local) and accumulates.
+	// Each band sums its own rows (already local) through a read span.
 	sum := 0.0
-	for i := lo; i < hi; i++ {
-		for j := 0; j < s.cols; j++ {
-			sum += w.ReadF64(s.at(i, j))
+	s.grid.Span(w, lo*s.cols, hi*s.cols, adsm.Read, func(_ int, p []float64) {
+		for _, v := range p {
+			sum += v
 		}
-	}
+	})
 	accumulate(w, s.chk, sum)
 	w.Barrier()
 	if w.ID() == 0 {
-		s.result = w.ReadF64(s.chk)
+		s.result = s.chk.At(w, 0)
 	}
 	w.Barrier()
 }

@@ -21,10 +21,10 @@ type TSP struct {
 
 	nodeCost time.Duration
 
-	best   adsm.Addr // best tour length (1 word, lock 1)
-	qhead  adsm.Addr // next queue entry (1 word, lock 0)
-	qcount adsm.Addr
-	qbase  adsm.Addr // entries: depth city indices each
+	best   adsm.Shared[int64] // best tour length (1 word, lock 1)
+	qhead  adsm.Shared[int64] // next queue entry (1 word, lock 0)
+	qcount adsm.Shared[int64]
+	qbase  adsm.Shared[int64] // entries: depth city indices each
 	qcap   int
 
 	result float64
@@ -64,24 +64,26 @@ func (t *TSP) Setup(cl *adsm.Cluster) {
 	for i := 0; i < t.depth-1; i++ {
 		t.qcap *= t.cities - 1 - i
 	}
-	t.best = cl.Alloc(8)
-	t.qhead = cl.Alloc(8)
-	t.qcount = cl.Alloc(8)
-	t.qbase = cl.Alloc(t.qcap * t.depth * 8)
+	t.best = adsm.AllocArray[int64](cl, 1)
+	t.qhead = adsm.AllocArray[int64](cl, 1)
+	t.qcount = adsm.AllocArray[int64](cl, 1)
+	t.qbase = adsm.AllocArray[int64](cl, t.qcap*t.depth)
 }
 
 // Body generates the prefix queue on processor 0 and then consumes it.
 func (t *TSP) Body(w *adsm.Worker) {
 	if w.ID() == 0 {
-		w.WriteI64(t.best, 1<<40)
+		t.best.Set(w, 0, 1<<40)
 		count := 0
 		prefix := []int{0}
+		entry := make([]int64, t.depth)
 		var gen func([]int)
 		gen = func(p []int) {
 			if len(p) == t.depth {
 				for i, c := range p {
-					w.WriteI64(t.qbase+8*(count*t.depth+i), int64(c))
+					entry[i] = int64(c)
 				}
+				t.qbase.WriteAt(w, entry, count*t.depth)
 				count++
 				return
 			}
@@ -99,8 +101,8 @@ func (t *TSP) Body(w *adsm.Worker) {
 			}
 		}
 		gen(prefix)
-		w.WriteI64(t.qcount, int64(count))
-		w.WriteI64(t.qhead, 0)
+		t.qcount.Set(w, 0, int64(count))
+		t.qhead.Set(w, 0, 0)
 	}
 	w.Barrier()
 
@@ -108,38 +110,40 @@ func (t *TSP) Body(w *adsm.Worker) {
 	// word, like TreadMarks' TSP work queue).
 	const batch = 4
 	prefix := make([]int, t.depth)
+	entry := make([]int64, t.depth)
 	for {
 		w.Lock(0)
-		head := w.ReadI64(t.qhead)
-		n := w.ReadI64(t.qcount)
+		head := t.qhead.At(w, 0)
+		n := t.qcount.At(w, 0)
 		take := int64(0)
 		if head < n {
 			take = n - head
 			if take > batch {
 				take = batch
 			}
-			w.WriteI64(t.qhead, head+take)
+			t.qhead.Set(w, 0, head+take)
 		}
 		w.Unlock(0)
 		if take == 0 {
 			break
 		}
 		for e := int64(0); e < take; e++ {
+			t.qbase.ReadAt(w, entry, (int(head)+int(e))*t.depth)
 			for i := 0; i < t.depth; i++ {
-				prefix[i] = int(w.ReadI64(t.qbase + 8*((int(head)+int(e))*t.depth+i)))
+				prefix[i] = int(entry[i])
 			}
 
 			// Depth-first search below the prefix, pruning against the
 			// (possibly stale) shared bound: stale bounds only prune
 			// less, so the optimum is still found.
-			bound := w.ReadI64(t.best)
+			bound := t.best.At(w, 0)
 			tourLen, explored := t.dfs(prefix, bound)
 			w.Compute(t.nodeCost * time.Duration(explored))
 
 			if tourLen > 0 {
 				w.Lock(1)
-				if cur := w.ReadI64(t.best); tourLen < cur {
-					w.WriteI64(t.best, tourLen)
+				if cur := t.best.At(w, 0); tourLen < cur {
+					t.best.Set(w, 0, tourLen)
 				}
 				w.Unlock(1)
 			}
@@ -148,7 +152,7 @@ func (t *TSP) Body(w *adsm.Worker) {
 
 	w.Barrier()
 	if w.ID() == 0 {
-		t.result = float64(w.ReadI64(t.best))
+		t.result = float64(t.best.At(w, 0))
 	}
 	w.Barrier()
 }

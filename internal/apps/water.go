@@ -16,14 +16,19 @@ import (
 // Force contributions to other processors' molecules are accumulated
 // under per-molecule locks (ordered, so not false sharing), with small
 // (24-byte) writes: "variable" write granularity in Table 2.
+//
+// Water stays mostly on element ops — its sharing is record-grained and
+// lock-merged, the anti-span workload — but uses small bulk reads for the
+// 3-vectors the force loop streams (a position read is one protocol check
+// instead of three).
 type Water struct {
 	n     int
 	steps int
 
 	pairCost time.Duration
 
-	mol    adsm.Addr // n records of molWords float64s
-	chk    adsm.Addr
+	mol    adsm.Shared[float64] // n records of molWords float64s
+	chk    adsm.Shared[float64]
 	result float64
 }
 
@@ -56,11 +61,12 @@ func (wa *Water) Result() float64 { return wa.result }
 
 // Setup allocates the molecule array.
 func (wa *Water) Setup(cl *adsm.Cluster) {
-	wa.mol = cl.AllocPageAligned(wa.n * molWords * 8)
-	wa.chk = cl.AllocPageAligned(8)
+	wa.mol = adsm.AllocArrayPageAligned[float64](cl, wa.n*molWords)
+	wa.chk = adsm.AllocArrayPageAligned[float64](cl, 1)
 }
 
-func (wa *Water) field(i, f int) adsm.Addr { return wa.mol + 8*(i*molWords+f) }
+// field returns the element index of field f of molecule i.
+func field(i, f int) int { return i*molWords + f }
 
 // Body runs the time steps.
 func (wa *Water) Body(w *adsm.Worker) {
@@ -68,10 +74,10 @@ func (wa *Water) Body(w *adsm.Worker) {
 
 	// Deterministic initial lattice positions for our molecules.
 	for i := lo; i < hi; i++ {
-		w.WriteF64(wa.field(i, fPos+0), float64(i%10))
-		w.WriteF64(wa.field(i, fPos+1), float64((i/10)%10))
-		w.WriteF64(wa.field(i, fPos+2), float64(i/100))
-		w.WriteF64(wa.field(i, fVel+0), 0.01*float64(i%7))
+		wa.mol.Set(w, field(i, fPos+0), float64(i%10))
+		wa.mol.Set(w, field(i, fPos+1), float64((i/10)%10))
+		wa.mol.Set(w, field(i, fPos+2), float64(i/100))
+		wa.mol.Set(w, field(i, fVel+0), 0.01*float64(i%7))
 	}
 	w.Barrier()
 
@@ -82,9 +88,9 @@ func (wa *Water) Body(w *adsm.Worker) {
 		// partition; large contiguous updates).
 		for i := lo; i < hi; i++ {
 			for d := 0; d < 3; d++ {
-				p := w.ReadF64(wa.field(i, fPos+d))
-				v := w.ReadF64(wa.field(i, fVel+d))
-				w.WriteF64(wa.field(i, fPos+d), p+dt*v)
+				p := wa.mol.At(w, field(i, fPos+d))
+				v := wa.mol.At(w, field(i, fVel+d))
+				wa.mol.Set(w, field(i, fPos+d), p+dt*v)
 			}
 		}
 		w.Barrier()
@@ -96,13 +102,9 @@ func (wa *Water) Body(w *adsm.Worker) {
 		pairs := 0
 		var pi, pj [3]float64
 		for i := lo; i < hi; i++ {
-			for d := 0; d < 3; d++ {
-				pi[d] = w.ReadF64(wa.field(i, fPos+d))
-			}
+			wa.mol.ReadAt(w, pi[:], field(i, fPos))
 			for j := i + 1; j < wa.n; j++ {
-				for d := 0; d < 3; d++ {
-					pj[d] = w.ReadF64(wa.field(j, fPos+d))
-				}
+				wa.mol.ReadAt(w, pj[:], field(j, fPos))
 				var r2 float64
 				for d := 0; d < 3; d++ {
 					dd := pi[d] - pj[d]
@@ -144,8 +146,8 @@ func (wa *Water) Body(w *adsm.Worker) {
 					continue
 				}
 				for d := 0; d < 3; d++ {
-					cur := w.ReadF64(wa.field(j, fFor+d))
-					w.WriteF64(wa.field(j, fFor+d), cur+acc[j*3+d])
+					cur := wa.mol.At(w, field(j, fFor+d))
+					wa.mol.Set(w, field(j, fFor+d), cur+acc[j*3+d])
 				}
 			}
 			w.Unlock(16 + tp)
@@ -155,10 +157,10 @@ func (wa *Water) Body(w *adsm.Worker) {
 		// Correct: integrate velocities and reset forces (our partition).
 		for i := lo; i < hi; i++ {
 			for d := 0; d < 3; d++ {
-				v := w.ReadF64(wa.field(i, fVel+d))
-				f := w.ReadF64(wa.field(i, fFor+d))
-				w.WriteF64(wa.field(i, fVel+d), v+dt*f)
-				w.WriteF64(wa.field(i, fFor+d), 0)
+				v := wa.mol.At(w, field(i, fVel+d))
+				f := wa.mol.At(w, field(i, fFor+d))
+				wa.mol.Set(w, field(i, fVel+d), v+dt*f)
+				wa.mol.Set(w, field(i, fFor+d), 0)
 			}
 		}
 		w.Barrier()
@@ -167,13 +169,13 @@ func (wa *Water) Body(w *adsm.Worker) {
 	var sum float64
 	for i := lo; i < hi; i++ {
 		for d := 0; d < 3; d++ {
-			sum += w.ReadF64(wa.field(i, fPos+d)) + w.ReadF64(wa.field(i, fVel+d))
+			sum += wa.mol.At(w, field(i, fPos+d)) + wa.mol.At(w, field(i, fVel+d))
 		}
 	}
 	accumulate(w, wa.chk, sum)
 	w.Barrier()
 	if w.ID() == 0 {
-		wa.result = w.ReadF64(wa.chk)
+		wa.result = wa.chk.At(w, 0)
 	}
 	w.Barrier()
 }

@@ -133,12 +133,13 @@ func (c *Cluster) usedPages() int {
 // Allocated returns the shared segment size in bytes.
 func (c *Cluster) Allocated() int { return c.allocated }
 
-// Alloc reserves n bytes of shared memory (8-byte aligned) before Run.
-// Pages are zero-initialized and initially owned by node 0, like
-// Tmk_malloc on the allocating processor.
+// Alloc reserves n bytes of shared memory before Run. The returned
+// address is always 8-byte aligned, so any supported element type is
+// naturally aligned at it. Pages are zero-initialized and initially owned
+// by node 0, like Tmk_malloc on the allocating processor.
 func (c *Cluster) Alloc(n int) int {
 	if n <= 0 {
-		panic("dsm: allocation size must be positive")
+		panic(fmt.Sprintf("dsm: Alloc(%d): allocation size must be positive", n))
 	}
 	addr := (c.allocated + 7) &^ 7
 	if addr+n > c.npages*mem.PageSize {
@@ -151,6 +152,9 @@ func (c *Cluster) Alloc(n int) int {
 
 // AllocPageAligned reserves n bytes starting on a page boundary.
 func (c *Cluster) AllocPageAligned(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("dsm: AllocPageAligned(%d): allocation size must be positive", n))
+	}
 	addr := (c.allocated + mem.PageSize - 1) &^ (mem.PageSize - 1)
 	if addr+n > c.npages*mem.PageSize {
 		panic("dsm: shared segment exhausted")

@@ -74,6 +74,13 @@ type Params struct {
 	MaxSharedBytes int
 	// EventLimit aborts runaway simulations (0 = default limit).
 	EventLimit uint64
+	// PerWordSpans disables the bulk fast path: AccessRange degenerates to
+	// one protocol check per element instead of one per page, the cost
+	// model every access paid before spans existed. Protocol behavior is
+	// identical either way (the per-page bookkeeping is idempotent within
+	// an interval); only host-side overhead changes. The span experiment
+	// and the span-vs-per-word equivalence tests flip this.
+	PerWordSpans bool
 }
 
 // RuntimeFactory builds a transport runtime for a cluster. Factories that

@@ -180,6 +180,14 @@ func (n *Node) markWritten(pg int, ps *pageState) {
 	n.c.detector.noteAccess(pg, n.id, true)
 }
 
+// Access is the exported single-element protocol entry point: it returns
+// the live page bytes and in-page offset for a size-byte element at addr,
+// running the fault handlers exactly like the scalar accessors. The typed
+// public API (Shared.At/Set) loads and stores through it.
+func (n *Node) Access(addr, size int, write bool) ([]byte, int) {
+	return n.access(addr, size, write)
+}
+
 // ReadU32 reads a 32-bit word at byte address addr.
 func (n *Node) ReadU32(addr int) uint32 {
 	b, off := n.access(addr, 4, false)

@@ -183,3 +183,29 @@ func TestToleranceAndCloseEnough(t *testing.T) {
 		t.Errorf("zeros must be close")
 	}
 }
+
+// TestSpanSweep runs the span experiment on quick inputs: the sweep
+// itself panics if the span and per-word executions are not protocol-
+// identical, so a passing run IS the equivalence assertion; the test
+// additionally checks the rendering and cell shape.
+func TestSpanSweep(t *testing.T) {
+	m := quickMatrix()
+	m.Protos = []adsm.Protocol{adsm.MW, adsm.SW, adsm.HLRC} // keep the test fast
+	cells := m.SpanSweepData()
+	if want := 2 * 3; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Span <= 0 || c.PerWord <= 0 {
+			t.Errorf("%s/%v: non-positive wall time %v / %v", c.App, c.Proto, c.Span, c.PerWord)
+		}
+		if c.Virtual <= 0 {
+			t.Errorf("%s/%v: non-positive virtual time", c.App, c.Proto)
+		}
+	}
+	out := m.SpanSweep()
+	if !strings.Contains(out, "Span experiment") || !strings.Contains(out, "SOR") ||
+		!strings.Contains(out, "Shallow") {
+		t.Errorf("span sweep table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"adsm"
+	"adsm/internal/apps"
+)
+
+// The span experiment (`dsmbench -exp span`): for each migrated flagship
+// kernel and every registered protocol, run the identical kernel twice —
+// once with the span/bulk fast path (the default) and once degraded to
+// per-word protocol checks (Config.PerWordSpans) — and measure the host
+// wall-clock of both runs. The two executions must be indistinguishable at
+// the protocol level: identical checksums, identical protocol counters,
+// identical virtual time. Any divergence is a bug in the bulk path and
+// panics the sweep. What remains is pure host-side overhead: the per-word
+// run pays a fault check plus detector pass per element, the span run one
+// per page, and the ratio is the speedup the API redesign buys.
+
+// spanSweepApps are the kernels the experiment measures: the two banded
+// stencil codes whose inner loops the span migration restructured most.
+func spanSweepApps() []string { return []string{"SOR", "Shallow"} }
+
+// SpanCell is one (app, protocol) measurement of the span experiment.
+type SpanCell struct {
+	App     string
+	Proto   adsm.Protocol
+	Span    time.Duration // host wall-clock, span fast path
+	PerWord time.Duration // host wall-clock, per-word degrade
+	Virtual time.Duration // virtual time (identical in both runs)
+	Msgs    int64         // messages (identical in both runs)
+}
+
+// HostSpeedup is the wall-clock ratio per-word / span (>1 means the fast
+// path wins).
+func (c SpanCell) HostSpeedup() float64 {
+	if c.Span <= 0 {
+		return 0
+	}
+	return float64(c.PerWord) / float64(c.Span)
+}
+
+// timedRun executes one uncached cell, returning the result and the host
+// wall-clock of the cluster run (setup and allocation excluded).
+func (m *Matrix) timedRun(name string, proto adsm.Protocol, perWord bool) (*runResult, time.Duration) {
+	app, err := apps.New(name, m.Quick)
+	if err != nil {
+		panic(err)
+	}
+	cfg := adsm.Config{Procs: m.Procs, Protocol: proto, HomePolicy: m.Home, PerWordSpans: perWord}
+	cl := adsm.NewCluster(cfg)
+	app.Setup(cl)
+	start := time.Now()
+	rep, err := cl.Run(app.Body)
+	wall := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s under %v: %v", name, proto, err))
+	}
+	return &runResult{report: rep, checksum: app.Result()}, wall
+}
+
+// spanSweepReps is how many times each variant runs; the minimum wall
+// clock is reported (the usual best-of-N discipline for host timing —
+// scheduler and GC noise only ever adds time).
+const spanSweepReps = 3
+
+// SpanSweepData runs the span experiment for every (app, protocol) cell,
+// panicking if the fast and per-word executions are not protocol-
+// identical (the cross-check the API redesign is pinned by).
+func (m *Matrix) SpanSweepData() []SpanCell {
+	var out []SpanCell
+	for _, name := range spanSweepApps() {
+		for _, proto := range m.protocols() {
+			fast, fastWall := m.timedRun(name, proto, false)
+			slow, slowWall := m.timedRun(name, proto, true)
+			for rep := 1; rep < spanSweepReps; rep++ {
+				if _, w := m.timedRun(name, proto, false); w < fastWall {
+					fastWall = w
+				}
+				if _, w := m.timedRun(name, proto, true); w < slowWall {
+					slowWall = w
+				}
+			}
+			if fast.checksum != slow.checksum {
+				panic(fmt.Sprintf("harness: span sweep %s/%v: checksum diverged: span %v, per-word %v",
+					name, proto, fast.checksum, slow.checksum))
+			}
+			if fast.report.Stats != slow.report.Stats {
+				panic(fmt.Sprintf("harness: span sweep %s/%v: protocol counters diverged:\nspan:     %+v\nper-word: %+v",
+					name, proto, fast.report.Stats, slow.report.Stats))
+			}
+			if fast.report.Elapsed != slow.report.Elapsed {
+				panic(fmt.Sprintf("harness: span sweep %s/%v: virtual time diverged: span %v, per-word %v",
+					name, proto, fast.report.Elapsed, slow.report.Elapsed))
+			}
+			out = append(out, SpanCell{
+				App:     name,
+				Proto:   proto,
+				Span:    fastWall,
+				PerWord: slowWall,
+				Virtual: fast.report.Elapsed,
+				Msgs:    fast.report.Stats.Messages,
+			})
+		}
+	}
+	return out
+}
+
+// SpanSweep renders the span experiment: host wall-clock with the fast
+// path and with per-word checks, the resulting speedup, and the (provably
+// identical) protocol-level quantities.
+func (m *Matrix) SpanSweep() string {
+	t := &table{header: []string{"App", "Protocol", "Per-word (ms)", "Span (ms)",
+		"Host speedup", "Virtual (s)", "Msgs"}}
+	for _, c := range m.SpanSweepData() {
+		t.add(c.App, c.Proto.String(),
+			fmt.Sprintf("%.1f", float64(c.PerWord.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(c.Span.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", c.HostSpeedup()),
+			seconds(c.Virtual),
+			fmt.Sprint(c.Msgs))
+	}
+	return "Span experiment: host-side cost of per-word vs span protocol checks\n" +
+		"(checksums, protocol counters and virtual time verified identical per cell)\n\n" + t.String()
+}

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// Typed views over page bytes. The shared segment stores every multi-byte
+// value little-endian (the accessors in mem.go); the span fast path wants
+// to hand application code a []T aliasing the page bytes directly, with no
+// per-element decode. On little-endian hosts with suitably aligned pages
+// the two layouts coincide and Alias returns a zero-copy view; otherwise
+// callers fall back to Decode/Encode, which copy element by element
+// through the canonical little-endian layout. Either way the bytes in the
+// page — the thing twins are copied from and diffs are computed over —
+// are identical, so the choice of path can never change protocol
+// behavior, only host-side cost.
+
+// Word is the set of element types the typed shared-memory API supports:
+// the fixed-size machine words the paper's applications use. The list is
+// exact (no ~) so the little-endian fallback can dispatch on the dynamic
+// type.
+type Word interface {
+	int32 | uint32 | int64 | uint64 | float32 | float64
+}
+
+// hostLittleEndian reports whether the host stores integers little-endian
+// (true on every platform the repo targets; the fallback keeps big-endian
+// hosts correct).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// ElemSize returns the byte size of T.
+func ElemSize[T Word]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// Alias returns b viewed as a []T sharing b's storage, or nil when the
+// zero-copy view is unavailable (big-endian host, or b misaligned for T —
+// pages come from make([]byte, PageSize) and are at least 8-byte aligned,
+// so misalignment only arises for element offsets not divisible by the
+// element size). len(b) must be a multiple of the element size.
+func Alias[T Word](b []byte) []T {
+	es := ElemSize[T]()
+	if len(b)%es != 0 {
+		panic("mem: Alias length not a multiple of the element size")
+	}
+	if len(b) == 0 {
+		return []T{}
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&b[0]))%uintptr(es) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/es)
+}
+
+// Decode copies len(dst) elements out of b's little-endian bytes.
+func Decode[T Word](b []byte, dst []T) {
+	es := ElemSize[T]()
+	for i := range dst {
+		dst[i] = LoadElem[T](b, i*es)
+	}
+}
+
+// Encode copies src into b as little-endian bytes.
+func Encode[T Word](b []byte, src []T) {
+	es := ElemSize[T]()
+	for i, v := range src {
+		StoreElem(b, i*es, v)
+	}
+}
+
+// LoadElem reads the T at byte offset off of b (little-endian).
+func LoadElem[T Word](b []byte, off int) T {
+	var v T
+	switch p := any(&v).(type) {
+	case *int32:
+		*p = int32(binary.LittleEndian.Uint32(b[off:]))
+	case *uint32:
+		*p = binary.LittleEndian.Uint32(b[off:])
+	case *int64:
+		*p = int64(binary.LittleEndian.Uint64(b[off:]))
+	case *uint64:
+		*p = binary.LittleEndian.Uint64(b[off:])
+	case *float32:
+		*p = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+	case *float64:
+		*p = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+	}
+	return v
+}
+
+// StoreElem writes the T at byte offset off of b (little-endian).
+func StoreElem[T Word](b []byte, off int, v T) {
+	switch x := any(v).(type) {
+	case int32:
+		binary.LittleEndian.PutUint32(b[off:], uint32(x))
+	case uint32:
+		binary.LittleEndian.PutUint32(b[off:], x)
+	case int64:
+		binary.LittleEndian.PutUint64(b[off:], uint64(x))
+	case uint64:
+		binary.LittleEndian.PutUint64(b[off:], x)
+	case float32:
+		binary.LittleEndian.PutUint32(b[off:], math.Float32bits(x))
+	case float64:
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(x))
+	}
+}
