@@ -153,6 +153,41 @@ func WithPerWordSpans(on bool) func(*Config) {
 	return func(c *Config) { c.PerWordSpans = on }
 }
 
+// PrefetchMode selects whether spans batch the page fetches of their
+// whole extent into one overlapped Multicall (span prefetch). The zero
+// value is on — prefetch is the default engine.
+type PrefetchMode int
+
+const (
+	// PrefetchOn batches a span's coherence fetches: one request per
+	// destination node covering all of the span's pages, every
+	// destination overlapped in a single Multicall.
+	PrefetchOn PrefetchMode = iota
+	// PrefetchOff restores the serial engine: one blocking fault per
+	// page, in page order — exactly the pre-prefetch behavior, which is
+	// what the equivalence tests compare against.
+	PrefetchOff
+)
+
+func (m PrefetchMode) String() string {
+	if m == PrefetchOff {
+		return "off"
+	}
+	return "on"
+}
+
+// WithSpanPrefetch returns a Config mutator toggling the span-prefetch
+// batching — the harness prefetch experiment runs every cell both ways.
+func WithSpanPrefetch(on bool) func(*Config) {
+	return func(c *Config) {
+		if on {
+			c.SpanPrefetch = PrefetchOn
+		} else {
+			c.SpanPrefetch = PrefetchOff
+		}
+	}
+}
+
 // ProtocolSpec describes a protocol implementation for RegisterProtocol.
 // Implementations live in internal/core (they plug into the engine's
 // Policy seam); the spec binds one to a name, aliases, and a description.
@@ -229,6 +264,14 @@ type Config struct {
 	// and protocol counters — so the flag exists to measure and pin the
 	// fast path, not to change semantics.
 	PerWordSpans bool
+	// SpanPrefetch selects whether a span's page fetches are batched into
+	// one overlapped Multicall (the default, PrefetchOn) or serviced one
+	// blocking fault at a time (PrefetchOff, the serial engine). Results
+	// are identical either way — `dsmbench -exp prefetch` and the
+	// equivalence tests pin bit-identical checksums — batching only
+	// collapses the sequential round-trip stalls. PerWordSpans implies
+	// off (the per-word degrade path has no spans to plan).
+	SpanPrefetch PrefetchMode
 	// Transport selects the substrate carrying the protocol messages
 	// (default SimTransport, the deterministic simulator).
 	Transport Transport
@@ -284,6 +327,7 @@ func NewCluster(cfg Config) *Cluster {
 		p.OwnershipQuantum = sim.Time(cfg.OwnershipQuantum)
 	}
 	p.PerWordSpans = cfg.PerWordSpans
+	p.SpanPrefetch = cfg.SpanPrefetch == PrefetchOn
 	p.Runtime = cfg.runtimeFactory()
 	cl := &Cluster{c: core.New(p), cfg: cfg}
 	if cfg.CollectDiffTimeline {
@@ -378,6 +422,9 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			HomeFlushBytes:    tot.HomeFlushBytes,
 			HomeLocalDiffs:    tot.HomeLocalDiffs,
 			HomeBinds:         tot.HomeBinds,
+			BatchedFetches:    tot.BatchedFetches,
+			PrefetchPages:     tot.PrefetchPages,
+			SerialFallbacks:   tot.SerialFallbacks,
 		},
 		Sharing: Sharing{
 			SharedPages:  ch.SharedPages,
@@ -426,6 +473,9 @@ type Stats struct {
 	HomeFlushBytes    int64 // payload bytes of those flushes
 	HomeLocalDiffs    int64 // diffs retired locally (writer was the home)
 	HomeBinds         int64 // first-touch home agreement requests
+	BatchedFetches    int64 // batched span-fetch rounds (one Multicall each)
+	PrefetchPages     int64 // pages made valid through the batched span path
+	SerialFallbacks   int64 // planned pages that fell back to the serial path
 }
 
 // Sharing summarizes the measured application characteristics (the

@@ -50,6 +50,8 @@ func main() {
 		"comma-separated node ids hosted by this process (default 0 when -tcp-addrs is set)")
 	timescale := flag.Float64("timescale", 0,
 		"scale modelled compute costs into real sleeps under -transport tcp (0: run flat out)")
+	prefetch := flag.Bool("prefetch", true,
+		"batch a span's page fetches into one overlapped Multicall (false: serial per-page faults)")
 	flag.Parse()
 
 	if *list {
@@ -87,6 +89,7 @@ func main() {
 	}
 
 	cfg := adsm.Config{Procs: *procs, Protocol: proto, HomePolicy: home, Transport: tr}
+	adsm.WithSpanPrefetch(*prefetch)(&cfg)
 	if tr == adsm.TCPTransport {
 		cfg.TCP.Timescale = *timescale
 		cfg.TCP.Fingerprint = adsm.RunFingerprint(*appName, proto, home, *procs, *quick)
@@ -138,6 +141,10 @@ func main() {
 	fmt.Printf("  messages             %d (%.2f MB)\n", s.Messages, rep.DataMB())
 	fmt.Printf("  faults               %d read, %d write\n", s.ReadFaults, s.WriteFaults)
 	fmt.Printf("  page fetches         %d\n", s.PageFetches)
+	if s.BatchedFetches > 0 || s.SerialFallbacks > 0 {
+		fmt.Printf("  span prefetch        %d batched rounds, %d pages, %d serial fallbacks\n",
+			s.BatchedFetches, s.PrefetchPages, s.SerialFallbacks)
+	}
 	fmt.Printf("  ownership            %d requests, %d grants, %d refusals, %d forwards\n",
 		s.OwnershipRequests, s.OwnershipGrants, s.OwnershipRefusals, s.Forwards)
 	fmt.Printf("  twins/diffs          %d twins, %d diffs created (%.2f MB), %d applied\n",

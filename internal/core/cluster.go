@@ -201,6 +201,8 @@ func (n *Node) handle(call transport.Call, from int, m transport.Msg) {
 		n.servePage(call, from, msg)
 	case diffReq:
 		n.serveDiffs(call, from, msg)
+	case spanFetchReq:
+		n.serveSpanFetch(call, from, msg)
 	case ownReq:
 		n.serveOwnership(call, from, msg)
 	case swOwnReq:

@@ -92,6 +92,28 @@ type wireDiffReq struct {
 	SeesFS bool
 }
 
+type wireSpanDiffWant struct {
+	Page   int
+	Wants  []wireKey
+	SeesFS bool
+}
+
+type wireSpanFetchReq struct {
+	Pages []int
+	Diffs []wireSpanDiffWant
+}
+
+type wireSpanDiffBundle struct {
+	Page  int
+	Keys  []wireKey
+	Diffs []*mem.Diff
+}
+
+type wireSpanFetchResp struct {
+	Pages []spanPageCopy // exported fields; encodes as-is like pageResp
+	Diffs []wireSpanDiffBundle
+}
+
 type wireDiffResp struct {
 	Diffs []*mem.Diff
 	Keys  []wireKey
@@ -156,6 +178,44 @@ func init() {
 		Decode: func(v any) transport.Msg {
 			w := v.(wireDiffResp)
 			return diffResp{Diffs: w.Diffs, Keys: fromWireKeys(w.Keys)}
+		},
+	})
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "spanFetchReq", Msg: spanFetchReq{}, Wire: wireSpanFetchReq{},
+		Encode: func(m transport.Msg) any {
+			r := m.(spanFetchReq)
+			w := wireSpanFetchReq{Pages: r.Pages, Diffs: make([]wireSpanDiffWant, len(r.Diffs))}
+			for i, d := range r.Diffs {
+				w.Diffs[i] = wireSpanDiffWant{Page: d.Page, Wants: toWireKeys(d.Wants), SeesFS: d.SeesFS}
+			}
+			return w
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireSpanFetchReq)
+			r := spanFetchReq{Pages: w.Pages, Diffs: make([]spanDiffWant, len(w.Diffs))}
+			for i, d := range w.Diffs {
+				r.Diffs[i] = spanDiffWant{Page: d.Page, Wants: fromWireKeys(d.Wants), SeesFS: d.SeesFS}
+			}
+			return r
+		},
+	})
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "spanFetchResp", Msg: spanFetchResp{}, Wire: wireSpanFetchResp{},
+		Encode: func(m transport.Msg) any {
+			r := m.(spanFetchResp)
+			w := wireSpanFetchResp{Pages: r.Pages, Diffs: make([]wireSpanDiffBundle, len(r.Diffs))}
+			for i, d := range r.Diffs {
+				w.Diffs[i] = wireSpanDiffBundle{Page: d.Page, Keys: toWireKeys(d.Keys), Diffs: d.Diffs}
+			}
+			return w
+		},
+		Decode: func(v any) transport.Msg {
+			w := v.(wireSpanFetchResp)
+			r := spanFetchResp{Pages: w.Pages, Diffs: make([]spanDiffBundle, len(w.Diffs))}
+			for i, d := range w.Diffs {
+				r.Diffs[i] = spanDiffBundle{Page: d.Page, Keys: fromWireKeys(d.Keys), Diffs: d.Diffs}
+			}
+			return r
 		},
 	})
 	transport.MustRegisterCodec(transport.Codec{

@@ -53,6 +53,31 @@ func TestMsgSizeMatchesWire(t *testing.T) {
 			Diffs: []*mem.Diff{sampleDiff(4, 1000), sampleDiff(4, 24)},
 			Keys:  []wnKey{{page: 4, proc: 1, ts: 9}, {page: 4, proc: 3, ts: 2}},
 		}},
+		"spanFetchReq": {
+			spanFetchReq{Pages: []int{4, 5, 6}},
+			spanFetchReq{
+				Pages: []int{9},
+				Diffs: []spanDiffWant{
+					{Page: 4, Wants: []wnKey{{page: 4, proc: 1, ts: 9}, {page: 4, proc: 3, ts: 2}}, SeesFS: true},
+					{Page: 5, Wants: []wnKey{{page: 5, proc: 2, ts: 7}}},
+				},
+			},
+		},
+		"spanFetchResp": {
+			spanFetchResp{Pages: []spanPageCopy{
+				{Page: 4, Served: true, Data: mem.NewPage(), Applied: sampleVC()},
+				{Page: 5}, // unserved: ownership transition in flight
+			}},
+			spanFetchResp{
+				Pages: []spanPageCopy{{Page: 9, Served: true, Data: mem.NewPage(), Applied: sampleVC()}},
+				Diffs: []spanDiffBundle{
+					{Page: 4, Keys: []wnKey{{page: 4, proc: 1, ts: 9}, {page: 4, proc: 3, ts: 2}},
+						Diffs: []*mem.Diff{sampleDiff(4, 1000), sampleDiff(4, 24)}},
+					{Page: 5, Keys: []wnKey{{page: 5, proc: 2, ts: 7}},
+						Diffs: []*mem.Diff{sampleDiff(5, 640)}},
+				},
+			},
+		},
 		"ownReq": {ownReq{Page: 11, Version: 5, NeedPage: true, Applied: sampleVC()}},
 		"ownResp": {
 			ownResp{Granted: true, Version: 6, Data: mem.NewPage(), Applied: sampleVC()},

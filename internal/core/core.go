@@ -81,6 +81,15 @@ type Params struct {
 	// an interval); only host-side overhead changes. The span experiment
 	// and the span-vs-per-word equivalence tests flip this.
 	PerWordSpans bool
+	// SpanPrefetch enables the batched span fetch: AccessRange plans the
+	// coherence work of a whole span first (which pages need a copy from
+	// where, which need diffs from whom) and issues it as one overlapped
+	// Multicall before installing pages and running the callbacks, instead
+	// of taking one blocking fault per page. Off degrades to the serial
+	// per-page path — the pre-batching engine, byte for byte — which is
+	// how the equivalence tests pin that batching changes latency, never
+	// results. PerWordSpans implies off (the degrade path is per-element).
+	SpanPrefetch bool
 }
 
 // RuntimeFactory builds a transport runtime for a cluster. Factories that
@@ -103,6 +112,7 @@ func DefaultParams(procs int) Params {
 		WGThreshold:      3 * 1024,
 		MaxSharedBytes:   64 << 20,
 		EventLimit:       2_000_000_000,
+		SpanPrefetch:     true,
 	}
 }
 

@@ -95,6 +95,52 @@ func (hlrcPolicy) MakeValid(n *Node, pg int, ps *pageState) {
 	}
 }
 
+// PrefetchWriteSpans: an HLRC write fault validates through a home fetch
+// with no ownership traffic, so write spans batch exactly like reads.
+func (hlrcPolicy) PrefetchWriteSpans() bool { return true }
+
+// SpanFetchPlan: one home fetch — exactly what one MakeValid round
+// issues. The discard pass over the pending notices mirrors MakeValid's.
+func (hlrcPolicy) SpanFetchPlan(n *Node, pg int, ps *pageState) (int, []*WriteNotice, bool) {
+	keep := ps.pending[:0]
+	for _, wn := range ps.pending {
+		if !wn.Int.VC.Leq(ps.applied) {
+			keep = append(keep, wn)
+		}
+	}
+	ps.pending = keep
+	if ps.data != nil && len(ps.pending) == 0 {
+		return -1, nil, true // current copy: only the status needs raising
+	}
+	home := n.resolveHome(pg)
+	if home == n.id {
+		// The home materializes its own initial copy (or reports a stale
+		// one loudly) on the serial path.
+		return 0, nil, false
+	}
+	return home, nil, true
+}
+
+// SpanSettle: the installed home copy dominates every notice received
+// before the batch went out (the flush-before-release guarantee), so the
+// discard pass clears them; anything left raced the batch and settles
+// through the serial home-fetch loop.
+func (hlrcPolicy) SpanSettle(n *Node, pg int, ps *pageState) {
+	keep := ps.pending[:0]
+	for _, wn := range ps.pending {
+		if !wn.Int.VC.Leq(ps.applied) {
+			keep = append(keep, wn)
+		}
+	}
+	ps.pending = keep
+	if ps.data == nil || len(ps.pending) > 0 {
+		n.validate(pg)
+	}
+	if ps.status == pageInvalid {
+		ps.status = pageReadOnly
+	}
+}
+
 // OnIntervalClose eagerly converts the interval's twins into diffs and
 // pushes them to each page's home, then retires them locally. Process
 // context: runs inside the release-class event, before its messages go

@@ -56,6 +56,79 @@ func (m diffResp) Size() int {
 	return n
 }
 
+// --- span prefetch (batched paging + diffing) ---
+
+// spanDiffWant asks for one page's diff bundle inside a spanFetchReq,
+// carrying the same per-page fields as diffReq (including the requester's
+// false-sharing perception piggyback).
+type spanDiffWant struct {
+	Page   int
+	Wants  []wnKey
+	SeesFS bool
+}
+
+// spanFetchReq batches a span's coherence fetches addressed to one node:
+// whole-page copies (the pages whose fetch target this node is) and diff
+// bundles (the pages some of whose pending diffs this node wrote). One
+// request per destination, all destinations issued in a single Multicall,
+// replaces the per-page pageReq Calls and per-page diffReq Multicalls of
+// the serial fault path.
+type spanFetchReq struct {
+	Pages []int
+	Diffs []spanDiffWant
+}
+
+func (m spanFetchReq) Size() int {
+	n := 16 + 8*len(m.Pages)
+	for _, d := range m.Diffs {
+		n += 12 + 8*len(d.Wants)
+	}
+	return n
+}
+
+// spanPageCopy is one page's reply inside a spanFetchResp. Served=false
+// reports that the target holds no copy (an ownership transfer is in
+// flight and a serial pageReq would have been forwarded); the requester
+// falls back to the serial path for that page, which chases the
+// perceived-owner chain as usual.
+type spanPageCopy struct {
+	Page    int
+	Served  bool
+	Data    []byte
+	Applied vc.VC
+}
+
+// spanDiffBundle is one page's diff reply inside a spanFetchResp.
+type spanDiffBundle struct {
+	Page  int
+	Keys  []wnKey
+	Diffs []*mem.Diff
+}
+
+// spanFetchResp answers a spanFetchReq with every requested page copy and
+// diff bundle in one message.
+type spanFetchResp struct {
+	Pages []spanPageCopy
+	Diffs []spanDiffBundle
+}
+
+func (m spanFetchResp) Size() int {
+	n := 16
+	for _, p := range m.Pages {
+		n += 12
+		if p.Served {
+			n += len(p.Data) + 4*len(p.Applied)
+		}
+	}
+	for _, d := range m.Diffs {
+		n += 12 + 8*len(d.Keys)
+		for _, df := range d.Diffs {
+			n += df.EncodedSize()
+		}
+	}
+	return n
+}
+
 // --- ownership (adaptive protocols) ---
 
 // ownReq is an ownership request sent directly to the last perceived owner

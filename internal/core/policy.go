@@ -70,6 +70,37 @@ type Policy interface {
 	// GCCollapseToSW makes garbage collection collapse every collected
 	// page back to SW mode under the keeper (the adaptive protocols).
 	GCCollapseToSW() bool
+
+	// PrefetchReadSpans reports whether invalid pages of a read span may
+	// be validated through the batched span fetch (one Multicall for the
+	// whole span) instead of one serial fault per page. All current
+	// protocols opt in: the batch issues exactly the fetches the serial
+	// merge would, just overlapped.
+	PrefetchReadSpans() bool
+
+	// PrefetchWriteSpans reports whether invalid pages of a write span
+	// may be validated the same way before the serial per-page write
+	// faults run. Safe only when the protocol's write fault validates
+	// without an ownership grant (MW and HLRC); the ownership-based
+	// protocols keep their serial grant protocol — correctness first,
+	// batching where it is provably equivalent.
+	PrefetchWriteSpans() bool
+
+	// SpanFetchPlan classifies one invalid page of a span for the batched
+	// fetch: the whole-page fetch target (-1 when the local copy only
+	// needs diffs), the diff-backed write notices to fetch and apply, and
+	// ok=false to decline batching for this page (the engine then falls
+	// back to the serial MakeValid path). The plan must request exactly
+	// what one serial merge round would. Process context; may block only
+	// on non-coherence RPCs (e.g. resolving a first-touch home binding).
+	SpanFetchPlan(n *Node, pg int, ps *pageState) (target int, diffs []*WriteNotice, ok bool)
+
+	// SpanSettle finishes a batched fetch for one page after the fetched
+	// copy has been installed and the bundled diffs stored: it applies or
+	// discards the pending write notices exactly as one MakeValid round
+	// would, settling serially if new notices raced the batch. Process
+	// context; may block.
+	SpanSettle(n *Node, pg int, ps *pageState)
 }
 
 // basePolicy supplies the no-op defaults shared by the concrete policies.
@@ -85,6 +116,12 @@ func (basePolicy) MemPressure(n *Node) bool                               { retu
 func (basePolicy) GCKeeperIsOwner() bool                                  { return false }
 func (basePolicy) GCCollapseToSW() bool                                   { return false }
 func (basePolicy) MakeValid(n *Node, pg int, ps *pageState)               { n.lrcMakeValid(pg, ps) }
+func (basePolicy) PrefetchReadSpans() bool                                { return true }
+func (basePolicy) PrefetchWriteSpans() bool                               { return false }
+func (basePolicy) SpanFetchPlan(n *Node, pg int, ps *pageState) (int, []*WriteNotice, bool) {
+	return n.lrcSpanPlan(ps)
+}
+func (basePolicy) SpanSettle(n *Node, pg int, ps *pageState) { n.lrcSpanSettle(pg, ps) }
 
 // ownerInitPage is the shared InitPage of the ownership-based protocols:
 // every page starts in SW mode, owned (with its initial copy) by the
@@ -111,6 +148,10 @@ func (mwPolicy) InitPage(c *Cluster, id, pg int, ps *pageState) {
 }
 
 func (mwPolicy) WriteFault(n *Node, pg int, ps *pageState) { n.stayMW(pg, ps) }
+
+// PrefetchWriteSpans: an MW write fault validates and twins without any
+// ownership traffic, so the validate half batches exactly like a read.
+func (mwPolicy) PrefetchWriteSpans() bool { return true }
 
 // --- SW: the CVM-like single-writer protocol ---
 

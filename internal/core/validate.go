@@ -5,6 +5,7 @@ import (
 
 	"adsm/internal/mem"
 	"adsm/internal/transport"
+	"adsm/internal/vc"
 )
 
 // This file implements the merge procedure that makes an invalid page
@@ -112,14 +113,9 @@ func (n *Node) mergeOnce(pg int, ps *pageState) {
 
 // fetchPage retrieves a whole-page copy from target and installs it,
 // preserving any uncommitted local writes recorded under a twin.
-var debugFetch func(n *Node, pg, target int, applied []int32, reg5 byte)
-
 func (n *Node) fetchPage(pg int, ps *pageState, target int) {
 	resp := n.c.rt.Call(n.proc, target, pageReq{Page: pg}).(pageResp)
 	n.Stats.PageFetches++
-	if debugFetch != nil {
-		debugFetch(n, pg, target, resp.Applied, resp.Data[5*256])
-	}
 	n.installPage(pg, ps, resp.Data, resp.Applied.Copy())
 }
 
@@ -268,6 +264,34 @@ func (n *Node) applyDiffs(pg int, ps *pageState, wns []*WriteNotice) {
 
 // --- server side ---
 
+// snapshotPage runs the serve-side policy hook and returns a private
+// copy of the page (data + applied) for a reply to `from`. Shared by the
+// serial pageReq handler and the batched span-fetch handler so the two
+// paths cannot drift. Handler context.
+func (n *Node) snapshotPage(from, pg int, ps *pageState) ([]byte, vc.VC) {
+	n.c.policy.OnServePage(n, from, pg, ps)
+	snap := make([]byte, len(ps.data))
+	copy(snap, ps.data)
+	return snap, ps.applied.Copy()
+}
+
+// serveDiffKey resolves one requested diff, creating it lazily from the
+// pending twin when necessary (the creation cost is returned so callers
+// can charge it as reply latency) and panicking loudly on a diff this
+// node does not have. Shared by the serial diffReq handler and the
+// batched span-fetch handler. Handler context.
+func (n *Node) serveDiffKey(pg int, ps *pageState, k wnKey) (*mem.Diff, transport.Time) {
+	d := n.diffCache[k]
+	if d != nil {
+		return d, 0
+	}
+	if ps.undiffed != nil && keyOf(ps.undiffed) == k {
+		d = n.makeDiff(pg, ps)
+		return d, n.c.params.diffCost(d)
+	}
+	panic(fmt.Sprintf("dsm: node %d asked for diff %+v it does not have", n.id, k))
+}
+
 // servePage handles a pageReq: reply with a snapshot of our copy, or
 // forward along the perceived-owner chain if we have none.
 func (n *Node) servePage(c transport.Call, from int, m pageReq) {
@@ -284,10 +308,8 @@ func (n *Node) servePage(c transport.Call, from int, m pageReq) {
 		c.Forward(target, pageReq{Page: m.Page, Hops: m.Hops + 1})
 		return
 	}
-	n.c.policy.OnServePage(n, from, m.Page, ps)
-	snap := make([]byte, len(ps.data))
-	copy(snap, ps.data)
-	c.Reply(pageResp{Data: snap, Applied: ps.applied.Copy()})
+	data, applied := n.snapshotPage(from, m.Page, ps)
+	c.Reply(pageResp{Data: data, Applied: applied})
 }
 
 // queueOwnershipDrop performs the deferred ownership drop for pages with
@@ -312,15 +334,8 @@ func (n *Node) serveDiffs(c transport.Call, from int, m diffReq) {
 	var cost transport.Time
 	resp := diffResp{}
 	for _, k := range m.Wants {
-		d := n.diffCache[k]
-		if d == nil {
-			if ps.undiffed != nil && keyOf(ps.undiffed) == k {
-				d = n.makeDiff(m.Page, ps)
-				cost += n.c.params.diffCost(d)
-			} else {
-				panic(fmt.Sprintf("dsm: node %d asked for diff %+v it does not have", n.id, k))
-			}
-		}
+		d, dc := n.serveDiffKey(m.Page, ps, k)
+		cost += dc
 		resp.Diffs = append(resp.Diffs, d)
 		resp.Keys = append(resp.Keys, k)
 	}

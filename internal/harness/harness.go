@@ -27,10 +27,16 @@ type Matrix struct {
 	// value: static, the paper's layout). The home sweep varies it per
 	// cell independently of this default.
 	Home adsm.HomePolicy
+	// Prefetch selects the span-prefetch mode for every cell (zero
+	// value: on, the default engine). The prefetch sweep varies it per
+	// cell independently; `dsmbench -prefetch=false` sets it off to
+	// reproduce the serial engine's numbers (the pre-batching baseline).
+	Prefetch adsm.PrefetchMode
 
 	mu  sync.Mutex
 	seq map[string]*runResult
 	par map[string]*runResult
+	pre map[string]*runResult
 }
 
 type runResult struct {
@@ -46,6 +52,7 @@ func NewMatrix(quick bool) *Matrix {
 		Procs: 8,
 		seq:   make(map[string]*runResult),
 		par:   make(map[string]*runResult),
+		pre:   make(map[string]*runResult),
 	}
 }
 
@@ -79,7 +86,7 @@ func (m *Matrix) run(name string, procs int, proto adsm.Protocol, mutate func(*a
 	if err != nil {
 		panic(err)
 	}
-	cfg := adsm.Config{Procs: procs, Protocol: proto, HomePolicy: m.Home}
+	cfg := adsm.Config{Procs: procs, Protocol: proto, HomePolicy: m.Home, SpanPrefetch: m.Prefetch}
 	if mutate != nil {
 		mutate(&cfg)
 	}

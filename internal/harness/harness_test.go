@@ -209,3 +209,36 @@ func TestSpanSweep(t *testing.T) {
 		t.Errorf("span sweep table malformed:\n%s", out)
 	}
 }
+
+// TestPrefetchSweep runs the sim side of the prefetch experiment on a
+// protocol subset. PrefetchSweepData itself panics if the batched and
+// serial executions are not checksum-identical, so a passing run IS the
+// equivalence assertion; the test additionally checks that batching
+// happened, never lost virtual time, and renders.
+func TestPrefetchSweep(t *testing.T) {
+	m := quickMatrix()
+	m.Protos = []adsm.Protocol{adsm.MW, adsm.HLRC} // keep the test fast
+	cells := m.PrefetchSweepData(false)
+	if want := 3 * 2; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	batched := int64(0)
+	for _, c := range cells {
+		if c.OnVirtual <= 0 || c.OffVirtual <= 0 {
+			t.Errorf("%s/%v: non-positive virtual time %v / %v", c.App, c.Proto, c.OnVirtual, c.OffVirtual)
+		}
+		if c.OnVirtual > c.OffVirtual {
+			t.Errorf("%s/%v: batching lost virtual time: on %v, off %v",
+				c.App, c.Proto, c.OnVirtual, c.OffVirtual)
+		}
+		batched += c.BatchedFetches
+	}
+	if batched == 0 {
+		t.Error("no cell issued a batched fetch")
+	}
+	out := m.PrefetchSweep()
+	if !strings.Contains(out, "Prefetch experiment") || !strings.Contains(out, "SOR") ||
+		!strings.Contains(out, "IS") {
+		t.Errorf("prefetch sweep table malformed:\n%s", out)
+	}
+}

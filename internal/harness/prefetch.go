@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"adsm"
+	"adsm/internal/apps"
+)
+
+// The prefetch experiment (`dsmbench -exp prefetch`): for each flagship
+// stencil kernel and every registered protocol, run the identical kernel
+// with span prefetch on (the default: a span's page fetches batched into
+// one overlapped Multicall) and off (the serial per-page fault engine),
+// under the deterministic simulator and under the real TCP transport.
+// Checksums must be bit-identical per (app, protocol, transport) pair —
+// batching changes when coherence traffic travels, never what it
+// computes — and the sweep panics on any divergence. What remains is the
+// latency win: virtual time under sim (where Multicall models fully
+// overlapped requests) and best-of-3 host wall clock under tcp (where
+// the round trips are real).
+
+// prefetchSweepApps are the kernels the experiment measures: the banded
+// stencil codes whose boundary-row fetches the batching overlaps
+// (SOR declares its halo through the Prefetch hint), and IS, whose
+// whole-array merge/rank spans are the most read-span-heavy phases in
+// the suite — every bucket page needs diffs from every writer, which the
+// batching collapses from one Multicall per page into one per span.
+func prefetchSweepApps() []string { return []string{"SOR", "Shallow", "IS"} }
+
+// PrefetchCell is one (app, protocol) measurement of the prefetch
+// experiment. The On/Off pairs are the same kernel with span prefetch on
+// and off; the counters come from the prefetch-on sim run.
+type PrefetchCell struct {
+	App   string
+	Proto adsm.Protocol
+
+	OnVirtual  time.Duration // sim virtual time, prefetch on
+	OffVirtual time.Duration // sim virtual time, prefetch off
+	OnMsgs     int64
+	OffMsgs    int64
+
+	BatchedFetches  int64 // batched span-fetch rounds (prefetch-on run)
+	PrefetchPages   int64 // pages serviced through the batched path
+	SerialFallbacks int64 // planned pages that fell back to the serial path
+
+	OnTCPWall  time.Duration // best-of-3 host wall clock under tcp, prefetch on
+	OffTCPWall time.Duration // best-of-3 host wall clock under tcp, prefetch off
+}
+
+// VirtualSpeedup is the virtual-time ratio off/on (>1: batching wins).
+func (c PrefetchCell) VirtualSpeedup() float64 {
+	if c.OnVirtual <= 0 {
+		return 0
+	}
+	return float64(c.OffVirtual) / float64(c.OnVirtual)
+}
+
+// TCPSpeedup is the tcp wall-clock ratio off/on (>1: batching wins).
+func (c PrefetchCell) TCPSpeedup() float64 {
+	if c.OnTCPWall <= 0 {
+		return 0
+	}
+	return float64(c.OffTCPWall) / float64(c.OnTCPWall)
+}
+
+// prefetchRun executes one cell under the given transport and prefetch
+// setting, returning the report, checksum and host wall clock. Sim runs
+// are deterministic, so they are cached like the matrix's other cells
+// (the BenchReport and the rendered sweep share them); tcp runs are
+// wall-clock measurements and always execute.
+func (m *Matrix) prefetchRun(name string, proto adsm.Protocol, tr adsm.Transport, prefetch bool) (*runResult, time.Duration) {
+	key := fmt.Sprintf("%s|%v|%v", name, proto, prefetch)
+	if tr == adsm.SimTransport {
+		m.mu.Lock()
+		if r, ok := m.pre[key]; ok {
+			m.mu.Unlock()
+			return r, 0
+		}
+		m.mu.Unlock()
+	}
+	app, err := apps.New(name, m.Quick)
+	if err != nil {
+		panic(err)
+	}
+	cfg := adsm.Config{Procs: m.Procs, Protocol: proto, HomePolicy: m.Home, Transport: tr}
+	adsm.WithSpanPrefetch(prefetch)(&cfg)
+	cl := adsm.NewCluster(cfg)
+	app.Setup(cl)
+	start := time.Now()
+	rep, err := cl.Run(app.Body)
+	wall := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("harness: prefetch sweep %s under %v/%v: %v", name, proto, tr, err))
+	}
+	r := &runResult{report: rep, checksum: app.Result()}
+	if tr == adsm.SimTransport {
+		m.mu.Lock()
+		m.pre[key] = r
+		m.mu.Unlock()
+	}
+	return r, wall
+}
+
+// prefetchSweepReps is the best-of-N count for the tcp wall-clock pairs.
+const prefetchSweepReps = 3
+
+// PrefetchSweepData runs the prefetch experiment for every (app,
+// protocol) cell, panicking if prefetch on and off are not
+// checksum-identical under either transport.
+func (m *Matrix) PrefetchSweepData(tcp bool) []PrefetchCell {
+	var out []PrefetchCell
+	for _, name := range prefetchSweepApps() {
+		for _, proto := range m.protocols() {
+			on, _ := m.prefetchRun(name, proto, adsm.SimTransport, true)
+			off, _ := m.prefetchRun(name, proto, adsm.SimTransport, false)
+			if on.checksum != off.checksum {
+				panic(fmt.Sprintf("harness: prefetch sweep %s/%v: sim checksum diverged: on %v, off %v",
+					name, proto, on.checksum, off.checksum))
+			}
+			cell := PrefetchCell{
+				App:             name,
+				Proto:           proto,
+				OnVirtual:       on.report.Elapsed,
+				OffVirtual:      off.report.Elapsed,
+				OnMsgs:          on.report.Stats.Messages,
+				OffMsgs:         off.report.Stats.Messages,
+				BatchedFetches:  on.report.Stats.BatchedFetches,
+				PrefetchPages:   on.report.Stats.PrefetchPages,
+				SerialFallbacks: on.report.Stats.SerialFallbacks,
+			}
+			if tcp {
+				// Wall-clock transports reassociate the lock-ordered
+				// checksum accumulation, so the tcp pairs compare with the
+				// matrix's sequential-run tolerance — and looser still for
+				// the protocols that time their ownership decisions
+				// (quantum expiry, mid-interval arrivals) in wall clock,
+				// whose low-order bits are timing-defined run to run on a
+				// real transport (the TransportEquivalence split). The sim
+				// side of the same cell is compared bit for bit above,
+				// which is what pins the batching machinery itself.
+				tol := tolerance(name)
+				if proto != adsm.MW && proto != adsm.HLRC && tol < 1e-4 {
+					tol = 1e-4
+				}
+				for rep := 0; rep < prefetchSweepReps; rep++ {
+					tcpOn, wallOn := m.prefetchRun(name, proto, adsm.TCPTransport, true)
+					tcpOff, wallOff := m.prefetchRun(name, proto, adsm.TCPTransport, false)
+					if !closeEnough(tcpOn.checksum, tcpOff.checksum, tol) {
+						panic(fmt.Sprintf("harness: prefetch sweep %s/%v: tcp checksum diverged: on %v, off %v",
+							name, proto, tcpOn.checksum, tcpOff.checksum))
+					}
+					if cell.OnTCPWall == 0 || wallOn < cell.OnTCPWall {
+						cell.OnTCPWall = wallOn
+					}
+					if cell.OffTCPWall == 0 || wallOff < cell.OffTCPWall {
+						cell.OffTCPWall = wallOff
+					}
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// PrefetchSweep renders the prefetch experiment: sim virtual time and tcp
+// wall clock with batching on and off, the resulting speedups, and the
+// batching counters (checksums verified identical per cell).
+func (m *Matrix) PrefetchSweep() string {
+	t := &table{header: []string{"App", "Protocol", "Virtual off (s)", "Virtual on (s)",
+		"Sim speedup", "Msgs off", "Msgs on", "Batches", "Pages", "Fallbacks",
+		"TCP off (ms)", "TCP on (ms)", "TCP speedup"}}
+	for _, c := range m.PrefetchSweepData(true) {
+		t.add(c.App, c.Proto.String(),
+			seconds(c.OffVirtual), seconds(c.OnVirtual),
+			fmt.Sprintf("%.2fx", c.VirtualSpeedup()),
+			fmt.Sprint(c.OffMsgs), fmt.Sprint(c.OnMsgs),
+			fmt.Sprint(c.BatchedFetches), fmt.Sprint(c.PrefetchPages), fmt.Sprint(c.SerialFallbacks),
+			fmt.Sprintf("%.1f", float64(c.OffTCPWall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(c.OnTCPWall.Microseconds())/1000),
+			fmt.Sprintf("%.2fx", c.TCPSpeedup()))
+	}
+	return "Prefetch experiment: span fetches batched into one overlapped Multicall vs serial faults\n" +
+		"(checksums verified identical per cell; tcp wall clock is best-of-" +
+		fmt.Sprint(prefetchSweepReps) + ")\n\n" + t.String()
+}

@@ -12,7 +12,9 @@ import (
 // count, data volume). `dsmbench -exp json` emits it so successive PRs can
 // archive BENCH_*.json files and diff them.
 
-// BenchCell is one (application, protocol) measurement.
+// BenchCell is one (application, protocol) measurement. The matrix runs
+// with span prefetch on (the default engine), so the batching counters
+// record how much of the coherence traffic travelled batched.
 type BenchCell struct {
 	App       string  `json:"app"`
 	Protocol  string  `json:"protocol"`
@@ -22,6 +24,10 @@ type BenchCell struct {
 	DataBytes int64   `json:"data_bytes"`
 	GCRuns    int64   `json:"gc_runs"`
 	TwinDiffB int64   `json:"twin_diff_bytes"`
+
+	BatchedFetches  int64 `json:"batched_fetches"`
+	PrefetchPages   int64 `json:"prefetch_pages"`
+	SerialFallbacks int64 `json:"serial_fallbacks"`
 }
 
 // BenchSeq is one application's sequential baseline.
@@ -45,19 +51,36 @@ type BenchHomeCell struct {
 	HomeBinds      int64  `json:"home_binds"`
 }
 
+// BenchPrefetchCell is one (application, protocol) measurement of the
+// span-prefetch sweep: the same cell with batching on and off, sim-only
+// so the archived numbers stay deterministic (the tcp wall-clock side of
+// the sweep lives in `dsmbench -exp prefetch`).
+type BenchPrefetchCell struct {
+	App             string `json:"app"`
+	Protocol        string `json:"protocol"`
+	OnVirtualUS     int64  `json:"on_virtual_us"`
+	OffVirtualUS    int64  `json:"off_virtual_us"`
+	OnMessages      int64  `json:"on_messages"`
+	OffMessages     int64  `json:"off_messages"`
+	BatchedFetches  int64  `json:"batched_fetches"`
+	PrefetchPages   int64  `json:"prefetch_pages"`
+	SerialFallbacks int64  `json:"serial_fallbacks"`
+}
+
 // BenchReport is the full matrix measurement. Home records the default
 // home policy the main Cells ran under (the home sweep in HomeCells
 // varies it per cell); comparison tools use it to reject apples-to-
 // oranges diffs.
 type BenchReport struct {
-	Procs      int             `json:"procs"`
-	Quick      bool            `json:"quick"`
-	Home       string          `json:"home"`
-	Protocols  []string        `json:"protocols"`
-	Homes      []string        `json:"homes"`
-	Sequential []BenchSeq      `json:"sequential"`
-	Cells      []BenchCell     `json:"cells"`
-	HomeCells  []BenchHomeCell `json:"home_cells"`
+	Procs      int                 `json:"procs"`
+	Quick      bool                `json:"quick"`
+	Home       string              `json:"home"`
+	Protocols  []string            `json:"protocols"`
+	Homes      []string            `json:"homes"`
+	Sequential []BenchSeq          `json:"sequential"`
+	Cells      []BenchCell         `json:"cells"`
+	HomeCells  []BenchHomeCell     `json:"home_cells"`
+	Prefetch   []BenchPrefetchCell `json:"prefetch_cells"`
 }
 
 // BenchReport runs (or reuses) the matrix and assembles the report.
@@ -76,16 +99,32 @@ func (m *Matrix) BenchReport() BenchReport {
 		for _, proto := range m.protocols() {
 			rep := m.Parallel(e.Name, proto)
 			r.Cells = append(r.Cells, BenchCell{
-				App:       e.Name,
-				Protocol:  proto.String(),
-				VirtualUS: rep.Elapsed.Microseconds(),
-				Speedup:   m.Speedup(e.Name, proto),
-				Messages:  rep.Stats.Messages,
-				DataBytes: rep.Stats.DataBytes,
-				GCRuns:    rep.Stats.GCRuns,
-				TwinDiffB: rep.Stats.TwinBytes + rep.Stats.DiffBytes,
+				App:             e.Name,
+				Protocol:        proto.String(),
+				VirtualUS:       rep.Elapsed.Microseconds(),
+				Speedup:         m.Speedup(e.Name, proto),
+				Messages:        rep.Stats.Messages,
+				DataBytes:       rep.Stats.DataBytes,
+				GCRuns:          rep.Stats.GCRuns,
+				TwinDiffB:       rep.Stats.TwinBytes + rep.Stats.DiffBytes,
+				BatchedFetches:  rep.Stats.BatchedFetches,
+				PrefetchPages:   rep.Stats.PrefetchPages,
+				SerialFallbacks: rep.Stats.SerialFallbacks,
 			})
 		}
+	}
+	for _, cell := range m.PrefetchSweepData(false) {
+		r.Prefetch = append(r.Prefetch, BenchPrefetchCell{
+			App:             cell.App,
+			Protocol:        cell.Proto.String(),
+			OnVirtualUS:     cell.OnVirtual.Microseconds(),
+			OffVirtualUS:    cell.OffVirtual.Microseconds(),
+			OnMessages:      cell.OnMsgs,
+			OffMessages:     cell.OffMsgs,
+			BatchedFetches:  cell.BatchedFetches,
+			PrefetchPages:   cell.PrefetchPages,
+			SerialFallbacks: cell.SerialFallbacks,
+		})
 	}
 	for _, cell := range m.HomeSweepData() {
 		s := cell.Report.Stats

@@ -49,7 +49,11 @@ func (m *Matrix) timedRun(name string, proto adsm.Protocol, perWord bool) (*runR
 	if err != nil {
 		panic(err)
 	}
-	cfg := adsm.Config{Procs: m.Procs, Protocol: proto, HomePolicy: m.Home, PerWordSpans: perWord}
+	// Prefetch off in both variants: the per-word degrade path has no
+	// spans to plan, so the sweep isolates the host-side bookkeeping cost
+	// (the prefetch sweep measures the fetch batching separately).
+	cfg := adsm.Config{Procs: m.Procs, Protocol: proto, HomePolicy: m.Home,
+		PerWordSpans: perWord, SpanPrefetch: adsm.PrefetchOff}
 	cl := adsm.NewCluster(cfg)
 	app.Setup(cl)
 	start := time.Now()

@@ -44,6 +44,12 @@ type Node struct {
 	HomeFlushBytes int64 // payload bytes of those flushes
 	HomeLocalDiffs int64 // diffs retired locally because the writer was the home
 	HomeBinds      int64 // first-touch home agreement requests issued
+
+	// Span-prefetch batching: a span's page fetches grouped into one
+	// overlapped Multicall instead of one blocking call per page.
+	BatchedFetches  int64 // batched span-fetch rounds issued (one Multicall each)
+	PrefetchPages   int64 // pages made valid through the batched span path
+	SerialFallbacks int64 // planned pages that fell back to the serial fault path
 }
 
 // NoteLive updates the high-water mark after a change to the live pools.
@@ -79,6 +85,9 @@ func (s *Node) Add(o *Node) {
 	s.HomeFlushBytes += o.HomeFlushBytes
 	s.HomeLocalDiffs += o.HomeLocalDiffs
 	s.HomeBinds += o.HomeBinds
+	s.BatchedFetches += o.BatchedFetches
+	s.PrefetchPages += o.PrefetchPages
+	s.SerialFallbacks += o.SerialFallbacks
 }
 
 // Sum aggregates a slice of per-node stats into one total.

@@ -1,0 +1,68 @@
+package adsm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adsm"
+)
+
+// TestPrefetchEquivalence is the matrix the span-prefetch batching is
+// pinned by: batching a span's page fetches into one overlapped
+// Multicall must change when coherence traffic travels, never what the
+// program computes. For every protocol × {sim, tcp}, the same kernel
+// (the mid-page/page-tiled spanKernel of the span equivalence matrix)
+// runs with prefetch on and off; checksums must match bit for bit
+// everywhere, the off run must never touch the batched path, and under
+// the simulator the on run must not be slower — strictly faster, with
+// batches actually issued, for the protocols whose read-span pattern the
+// barriers fully determine (MW, HLRC).
+func TestPrefetchEquivalence(t *testing.T) {
+	const procs = 4
+	for _, proto := range adsm.Protocols() {
+		for _, tr := range []adsm.Transport{adsm.SimTransport, adsm.TCPTransport} {
+			t.Run(fmt.Sprintf("%v/%v", proto, tr), func(t *testing.T) {
+				cols := 180
+				if tr == adsm.TCPTransport {
+					cols = 512
+				}
+				base := adsm.Config{Procs: procs, Protocol: proto, Transport: tr}
+
+				on := newSpanKernel(procs, cols)
+				onRep, onSum := on.run(t, base)
+
+				offCfg := base
+				offCfg.SpanPrefetch = adsm.PrefetchOff
+				off := newSpanKernel(procs, cols)
+				offRep, offSum := off.run(t, offCfg)
+
+				if onSum != offSum {
+					t.Fatalf("checksum diverged: prefetch on %v, off %v", onSum, offSum)
+				}
+				if onSum == 0 {
+					t.Fatal("kernel computed nothing")
+				}
+				if s := offRep.Stats; s.BatchedFetches != 0 || s.PrefetchPages != 0 || s.SerialFallbacks != 0 {
+					t.Errorf("prefetch-off run used the batched path: batches=%d pages=%d fallbacks=%d",
+						s.BatchedFetches, s.PrefetchPages, s.SerialFallbacks)
+				}
+				if tr != adsm.SimTransport {
+					return // wall-clock timing is not assertable
+				}
+				if onRep.Elapsed > offRep.Elapsed {
+					t.Errorf("virtual time regressed with prefetch on: on %v, off %v",
+						onRep.Elapsed, offRep.Elapsed)
+				}
+				if proto == adsm.MW || proto == adsm.HLRC {
+					if onRep.Stats.BatchedFetches == 0 {
+						t.Errorf("no batched fetches issued — the kernel's multi-page spans should batch")
+					}
+					if onRep.Elapsed >= offRep.Elapsed {
+						t.Errorf("expected a strict virtual-time win from batching: on %v, off %v",
+							onRep.Elapsed, offRep.Elapsed)
+					}
+				}
+			})
+		}
+	}
+}

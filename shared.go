@@ -183,6 +183,24 @@ func (s Shared[T]) Fill(w *Worker, i, n int, v T) {
 	})
 }
 
+// Prefetch declares that the window [lo, hi) is about to be read — the
+// span-granularity coherence hint. Under Config.SpanPrefetch (the
+// default) the engine fetches all of the window's invalid pages right
+// here, batched into one overlapped Multicall, so the reads that follow
+// find them valid instead of paying one blocking fault per page. With
+// prefetch off — or when the window holds nothing profitable to batch —
+// the hint is a no-op and the faults fire on access exactly as without
+// it. Either way the hint never changes what the program computes, only
+// when its coherence traffic travels.
+func (s Shared[T]) Prefetch(w *Worker, lo, hi int) {
+	s.checkRange(lo, hi)
+	if lo == hi {
+		return
+	}
+	es := mem.ElemSize[T]()
+	w.n.PrefetchRange(s.base+lo*es, (hi-lo)*es)
+}
+
 // Span runs fn over the window [lo, hi) with the protocol work done once
 // per page: the page's fault (per mode), the write bookkeeping and the
 // detector note are resolved up front, and fn then operates on the page

@@ -370,7 +370,12 @@ func TestSpanVsPerWordEquivalence(t *testing.T) {
 		for _, tr := range []adsm.Transport{adsm.SimTransport, adsm.TCPTransport} {
 			name := fmt.Sprintf("%v/%v", proto, tr)
 			t.Run(name, func(t *testing.T) {
-				base := adsm.Config{Procs: procs, Protocol: proto, Transport: tr}
+				// Prefetch off in both arms: the per-word degrade path has
+				// no spans to plan, so this matrix isolates the per-page
+				// bookkeeping batching. The fetch batching is pinned by
+				// TestPrefetchEquivalence (on vs off, checksums).
+				base := adsm.Config{Procs: procs, Protocol: proto, Transport: tr,
+					SpanPrefetch: adsm.PrefetchOff}
 				cols := 180
 				if tr == adsm.TCPTransport {
 					cols = 512
