@@ -42,6 +42,7 @@ import (
 	"adsm/internal/mem"
 	"adsm/internal/sim"
 	"adsm/internal/stats"
+	"adsm/internal/transport"
 )
 
 // PageSize is the coherence unit (4096 bytes, as in the paper).
@@ -435,6 +436,11 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			MaxDiffBytes: ch.MaxDiffBytes,
 		},
 	}
+	if ws, ok := cl.c.Transport().(transport.WireStats); ok {
+		r.Stats.WireFrames = ws.WireFrames()
+		r.Stats.WireBytes = ws.WireBytes()
+		r.Stats.WireEncodeNS = ws.WireEncodeNanos()
+	}
 	if cl.series != nil {
 		r.DiffTimeline = make([]TimelinePoint, 0, len(cl.series.Points))
 		for _, p := range cl.series.Points {
@@ -476,6 +482,14 @@ type Stats struct {
 	BatchedFetches    int64 // batched span-fetch rounds (one Multicall each)
 	PrefetchPages     int64 // pages made valid through the batched span path
 	SerialFallbacks   int64 // planned pages that fell back to the serial path
+
+	// Wire-efficiency counters, populated only by transports that report
+	// real framing costs (the TCP runtime; zero under the simulator).
+	// DataBytes above charges the protocol model's Msg.Size()+HeaderBytes
+	// per message; these report what actually hit the sockets.
+	WireFrames   int64 // data-plane frames sent by the hosted nodes
+	WireBytes    int64 // real bytes (frame header + body) on the wire
+	WireEncodeNS int64 // cumulative frame-encode time, nanoseconds
 }
 
 // Sharing summarizes the measured application characteristics (the

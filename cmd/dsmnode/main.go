@@ -46,6 +46,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced inputs (must match every peer)")
 	timescale := flag.Float64("timescale", 0, "scale modelled compute costs into real sleeps")
 	dialTimeout := flag.Duration("dial-timeout", 20*time.Second, "how long to wait for the peer mesh")
+	wire := flag.String("wire", "binary",
+		"frame encoding: binary (hand-rolled hot-path codecs) or gob (force the escape frames; per-frame, so peers may differ)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -95,7 +97,11 @@ func main() {
 			Timescale:   *timescale,
 			DialTimeout: *dialTimeout,
 			Fingerprint: adsm.RunFingerprint(*appName, proto, home, *procs, *quick),
+			ForceGob:    *wire == "gob",
 		},
+	}
+	if *wire != "binary" && *wire != "gob" {
+		fail(fmt.Errorf("unknown -wire %q (binary or gob)", *wire))
 	}
 
 	cl, err := adsm.NewClusterErr(cfg)

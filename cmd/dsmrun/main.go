@@ -6,6 +6,7 @@
 //
 //	dsmrun [-app SOR] [-protocol WFS] [-procs 8] [-quick] [-protocols]
 //	       [-transport sim|tcp] [-tcp-addrs a0,a1,...] [-tcp-local 0] [-timescale X]
+//	       [-wire binary|gob]
 //
 // Any protocol registered with adsm.RegisterProtocol (e.g. HLRC) is
 // selectable by name; -protocols lists them.
@@ -52,6 +53,8 @@ func main() {
 		"scale modelled compute costs into real sleeps under -transport tcp (0: run flat out)")
 	prefetch := flag.Bool("prefetch", true,
 		"batch a span's page fetches into one overlapped Multicall (false: serial per-page faults)")
+	wire := flag.String("wire", "binary",
+		"frame encoding under -transport tcp: binary (hand-rolled hot-path codecs) or gob (force the escape frames)")
 	flag.Parse()
 
 	if *list {
@@ -93,6 +96,14 @@ func main() {
 	if tr == adsm.TCPTransport {
 		cfg.TCP.Timescale = *timescale
 		cfg.TCP.Fingerprint = adsm.RunFingerprint(*appName, proto, home, *procs, *quick)
+		switch *wire {
+		case "binary":
+		case "gob":
+			cfg.TCP.ForceGob = true
+		default:
+			fmt.Fprintf(os.Stderr, "dsmrun: unknown -wire %q (binary or gob)\n", *wire)
+			os.Exit(2)
+		}
 		if *tcpAddrs != "" {
 			cfg.TCP.Addrs = strings.Split(*tcpAddrs, ",")
 			cfg.TCP.Local = []int{0}
@@ -139,6 +150,11 @@ func main() {
 		fmt.Printf("  checksum             %v\n", app.Result())
 	}
 	fmt.Printf("  messages             %d (%.2f MB)\n", s.Messages, rep.DataMB())
+	if s.WireFrames > 0 {
+		fmt.Printf("  wire                 %d frames, %.2f MB real (model %.2f MB), encode %.2f ms\n",
+			s.WireFrames, float64(s.WireBytes)/(1<<20), rep.DataMB(),
+			float64(s.WireEncodeNS)/1e6)
+	}
 	fmt.Printf("  faults               %d read, %d write\n", s.ReadFaults, s.WriteFaults)
 	fmt.Printf("  page fetches         %d\n", s.PageFetches)
 	if s.BatchedFetches > 0 || s.SerialFallbacks > 0 {

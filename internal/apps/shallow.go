@@ -125,10 +125,24 @@ func (sh *Shallow) Body(w *adsm.Worker) {
 	uoldi, voldi, poldi := buf(), buf(), buf()
 	uni, vni, pni := buf(), buf(), buf()
 
+	// The only remote reads in a time step are the neighbouring bands'
+	// edge rows: phase 1 reads row wrap(hi) of p and v, phase 2 reads row
+	// wrap(lo-1) of cu, cv and h. Each row is 1152 bytes — one or two
+	// pages — so a per-array hint would have nothing to batch; the
+	// multi-range hint gathers the boundary pages of all the phase's input
+	// grids into one planned Multicall.
+	rowWin := func(g adsm.Shared[float64], i int) adsm.Window {
+		return g.Window(i*cols, (i+1)*cols)
+	}
+
 	const dt, dx = 0.02, 1.0
 	for it := 0; it < sh.iters; it++ {
 		// Phase 1: mass fluxes and potential vorticity from u, v, p
 		// (reads the neighbouring band's edge rows).
+		if lo < hi {
+			ip := sh.wrap(hi, sh.rows)
+			w.Prefetch(rowWin(sh.p, ip), rowWin(sh.v, ip))
+		}
 		for i := lo; i < hi; i++ {
 			ip := sh.wrap(i+1, sh.rows)
 			sh.readRow(w, sh.p, i, pi)
@@ -154,6 +168,10 @@ func (sh *Shallow) Body(w *adsm.Worker) {
 		w.Barrier()
 
 		// Phase 2: advance u, v, p using the fluxes (reads neighbours).
+		if lo < hi {
+			im := sh.wrap(lo-1, sh.rows)
+			w.Prefetch(rowWin(sh.cu, im), rowWin(sh.cv, im), rowWin(sh.h, im))
+		}
 		for i := lo; i < hi; i++ {
 			im := sh.wrap(i-1, sh.rows)
 			sh.readRow(w, sh.z, i, zi)

@@ -27,7 +27,15 @@ type wireKey struct {
 	TS   int32
 }
 
+// The slice converters all map empty to nil, matching both what plain gob
+// does to a nil slice and what the binary decoders produce from a zero
+// count — so a message means the same thing whichever wire body carried
+// it (pinned by TestBinaryRoundTripMatchesGob).
+
 func toWireKeys(ks []wnKey) []wireKey {
+	if len(ks) == 0 {
+		return nil
+	}
 	out := make([]wireKey, len(ks))
 	for i, k := range ks {
 		out[i] = wireKey{Page: k.page, Proc: k.proc, TS: k.ts}
@@ -36,6 +44,9 @@ func toWireKeys(ks []wnKey) []wireKey {
 }
 
 func fromWireKeys(ws []wireKey) []wnKey {
+	if len(ws) == 0 {
+		return nil
+	}
 	out := make([]wnKey, len(ws))
 	for i, w := range ws {
 		out[i] = wnKey{page: w.Page, proc: w.Proc, ts: w.TS}
@@ -61,9 +72,15 @@ type wireInterval struct {
 }
 
 func toWireIntervals(ivs []*Interval) []wireInterval {
+	if len(ivs) == 0 {
+		return nil
+	}
 	out := make([]wireInterval, len(ivs))
 	for i, iv := range ivs {
-		w := wireInterval{Proc: iv.Proc, TS: iv.TS, VC: iv.VC, WNs: make([]wireWN, len(iv.WNs))}
+		w := wireInterval{Proc: iv.Proc, TS: iv.TS, VC: iv.VC}
+		if len(iv.WNs) > 0 {
+			w.WNs = make([]wireWN, len(iv.WNs))
+		}
 		for j, wn := range iv.WNs {
 			w.WNs[j] = wireWN{Page: wn.Page, Owner: wn.Owner, Version: wn.Version, DataHint: wn.DataHint}
 		}
@@ -73,10 +90,15 @@ func toWireIntervals(ivs []*Interval) []wireInterval {
 }
 
 func fromWireIntervals(ws []wireInterval) []*Interval {
+	if len(ws) == 0 {
+		return nil
+	}
 	out := make([]*Interval, len(ws))
 	for i, w := range ws {
 		iv := &Interval{Proc: w.Proc, TS: w.TS, VC: vc.VC(w.VC)}
-		iv.WNs = make([]*WriteNotice, len(w.WNs))
+		if len(w.WNs) > 0 {
+			iv.WNs = make([]*WriteNotice, len(w.WNs))
+		}
 		for j, wn := range w.WNs {
 			iv.WNs[j] = &WriteNotice{Page: wn.Page, Int: iv, Owner: wn.Owner,
 				Version: wn.Version, DataHint: wn.DataHint}
@@ -142,24 +164,32 @@ type wireBarRelease struct {
 }
 
 func init() {
-	self := func(name string, m transport.Msg) {
-		transport.MustRegisterCodec(transport.Codec{Name: name, Msg: m})
+	// self registers a message that is its own gob wire form; the optional
+	// binary hooks (wire.go) put it on the hand-rolled hot path of real
+	// transports. Cold-path messages (hlrcFlush/hlrcAck, homeBind*, acq*)
+	// deliberately keep the gob fallback: they are rare, and they keep the
+	// escape-op frame path exercised by the equivalence tests.
+	self := func(name string, m transport.Msg,
+		aw func(transport.Msg, []byte, [][]byte) ([]byte, [][]byte),
+		dw func([]byte) (transport.Msg, error)) {
+		transport.MustRegisterCodec(transport.Codec{Name: name, Msg: m, AppendWire: aw, DecodeWire: dw})
 	}
-	self("pageReq", pageReq{})
-	self("pageResp", pageResp{})
-	self("ownReq", ownReq{})
-	self("ownResp", ownResp{})
-	self("swOwnReq", swOwnReq{})
-	self("swOwnGrant", swOwnGrant{})
-	self("hlrcFlush", hlrcFlush{})
-	self("hlrcAck", hlrcAck{})
-	self("homeBindReq", homeBindReq{})
-	self("homeBindResp", homeBindResp{})
-	self("acqReq", acqReq{})
-	self("acqFwd", acqFwd{})
+	self("pageReq", pageReq{}, pageReqAppendWire, pageReqDecodeWire)
+	self("pageResp", pageResp{}, pageRespAppendWire, pageRespDecodeWire)
+	self("ownReq", ownReq{}, ownReqAppendWire, ownReqDecodeWire)
+	self("ownResp", ownResp{}, ownRespAppendWire, ownRespDecodeWire)
+	self("swOwnReq", swOwnReq{}, swOwnReqAppendWire, swOwnReqDecodeWire)
+	self("swOwnGrant", swOwnGrant{}, swOwnGrantAppendWire, swOwnGrantDecodeWire)
+	self("hlrcFlush", hlrcFlush{}, nil, nil)
+	self("hlrcAck", hlrcAck{}, nil, nil)
+	self("homeBindReq", homeBindReq{}, nil, nil)
+	self("homeBindResp", homeBindResp{}, nil, nil)
+	self("acqReq", acqReq{}, nil, nil)
+	self("acqFwd", acqFwd{}, nil, nil)
 
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "diffReq", Msg: diffReq{}, Wire: wireDiffReq{},
+		AppendWire: diffReqAppendWire, DecodeWire: diffReqDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(diffReq)
 			return wireDiffReq{Page: r.Page, Wants: toWireKeys(r.Wants), SeesFS: r.SeesFS}
@@ -171,6 +201,7 @@ func init() {
 	})
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "diffResp", Msg: diffResp{}, Wire: wireDiffResp{},
+		AppendWire: diffRespAppendWire, DecodeWire: diffRespDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(diffResp)
 			return wireDiffResp{Diffs: r.Diffs, Keys: toWireKeys(r.Keys)}
@@ -182,9 +213,13 @@ func init() {
 	})
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "spanFetchReq", Msg: spanFetchReq{}, Wire: wireSpanFetchReq{},
+		AppendWire: spanFetchReqAppendWire, DecodeWire: spanFetchReqDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(spanFetchReq)
-			w := wireSpanFetchReq{Pages: r.Pages, Diffs: make([]wireSpanDiffWant, len(r.Diffs))}
+			w := wireSpanFetchReq{Pages: r.Pages}
+			if len(r.Diffs) > 0 {
+				w.Diffs = make([]wireSpanDiffWant, len(r.Diffs))
+			}
 			for i, d := range r.Diffs {
 				w.Diffs[i] = wireSpanDiffWant{Page: d.Page, Wants: toWireKeys(d.Wants), SeesFS: d.SeesFS}
 			}
@@ -192,7 +227,10 @@ func init() {
 		},
 		Decode: func(v any) transport.Msg {
 			w := v.(wireSpanFetchReq)
-			r := spanFetchReq{Pages: w.Pages, Diffs: make([]spanDiffWant, len(w.Diffs))}
+			r := spanFetchReq{Pages: w.Pages}
+			if len(w.Diffs) > 0 {
+				r.Diffs = make([]spanDiffWant, len(w.Diffs))
+			}
 			for i, d := range w.Diffs {
 				r.Diffs[i] = spanDiffWant{Page: d.Page, Wants: fromWireKeys(d.Wants), SeesFS: d.SeesFS}
 			}
@@ -201,9 +239,13 @@ func init() {
 	})
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "spanFetchResp", Msg: spanFetchResp{}, Wire: wireSpanFetchResp{},
+		AppendWire: spanFetchRespAppendWire, DecodeWire: spanFetchRespDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(spanFetchResp)
-			w := wireSpanFetchResp{Pages: r.Pages, Diffs: make([]wireSpanDiffBundle, len(r.Diffs))}
+			w := wireSpanFetchResp{Pages: r.Pages}
+			if len(r.Diffs) > 0 {
+				w.Diffs = make([]wireSpanDiffBundle, len(r.Diffs))
+			}
 			for i, d := range r.Diffs {
 				w.Diffs[i] = wireSpanDiffBundle{Page: d.Page, Keys: toWireKeys(d.Keys), Diffs: d.Diffs}
 			}
@@ -211,7 +253,10 @@ func init() {
 		},
 		Decode: func(v any) transport.Msg {
 			w := v.(wireSpanFetchResp)
-			r := spanFetchResp{Pages: w.Pages, Diffs: make([]spanDiffBundle, len(w.Diffs))}
+			r := spanFetchResp{Pages: w.Pages}
+			if len(w.Diffs) > 0 {
+				r.Diffs = make([]spanDiffBundle, len(w.Diffs))
+			}
 			for i, d := range w.Diffs {
 				r.Diffs[i] = spanDiffBundle{Page: d.Page, Keys: fromWireKeys(d.Keys), Diffs: d.Diffs}
 			}
@@ -231,6 +276,7 @@ func init() {
 	})
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "barArrive", Msg: barArrive{}, Wire: wireBarArrive{},
+		AppendWire: barArriveAppendWire, DecodeWire: barArriveDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(barArrive)
 			return wireBarArrive{Epoch: r.Epoch, KnownTS: r.KnownTS,
@@ -244,6 +290,7 @@ func init() {
 	})
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "barRelease", Msg: barRelease{}, Wire: wireBarRelease{},
+		AppendWire: barReleaseAppendWire, DecodeWire: barReleaseDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(barRelease)
 			return wireBarRelease{Intervals: toWireIntervals(r.Intervals), Global: r.Global,

@@ -32,19 +32,14 @@ func sampleIntervals() []*Interval {
 	return []*Interval{iv1, iv2}
 }
 
-// TestMsgSizeMatchesWire audits every registered protocol message: the
-// declared Size() (what the cost model charges and the traffic counters
-// count) must track the actual gob payload on an established stream.
-// Allowed drift is 10% of the wire size plus a fixed 96-byte allowance —
-// the declared sizes model packed C structs plus a fixed header, while gob
-// spends a few bytes per field and saves many on small varint-coded
-// integers, so tiny control messages legitimately differ by tens of bytes
-// in both directions. Data-carrying messages (pages, diffs, interval
-// piggybacks) must track closely; a failure here means a Size() method
-// drifted from what the wire actually moves.
-func TestMsgSizeMatchesWire(t *testing.T) {
+// msgSamples returns representative values of every registered core
+// message — the shared table behind the wire-size audit, the binary/gob
+// round-trip equivalence test and the fuzz seed corpus. Each entry
+// exercises the message's interesting shapes (payloads, piggybacked
+// intervals, unserved/denied variants).
+func msgSamples() map[string][]transport.Msg {
 	nprocs := 8
-	samples := map[string][]transport.Msg{
+	return map[string][]transport.Msg{
 		"pageReq":  {pageReq{Page: 17}, pageReq{Page: 9000, Hops: 3}},
 		"pageResp": {pageResp{Data: mem.NewPage(), Applied: sampleVC()}},
 		"diffReq": {diffReq{Page: 4, Wants: []wnKey{{page: 4, proc: 1, ts: 9}, {page: 4, proc: 3, ts: 2}},
@@ -101,26 +96,46 @@ func TestMsgSizeMatchesWire(t *testing.T) {
 			GC: true, Hints: []gcHint{{Page: 1, Owner: 2, Version: 3}, {Page: 9, Owner: 0, Version: 1}},
 			nprocs: nprocs}},
 	}
+}
 
+// TestMsgSizeMatchesWire audits every registered protocol message against
+// what the wire actually moves. Messages with a binary codec are pinned
+// exactly: Size() must equal the binary frame body byte for byte, since
+// the cost model, the traffic counters and the real transport now all
+// speak the same encoding. The remaining cold-path messages ride the gob
+// fallback, whose framing is not worth modelling precisely; for those the
+// declared size must track the steady-state gob payload within 10% plus a
+// fixed 96-byte allowance. A failure here means a Size() method drifted
+// from what the wire moves.
+func TestMsgSizeMatchesWire(t *testing.T) {
 	covered := map[string]bool{}
-	for name, msgs := range samples {
+	for name, msgs := range msgSamples() {
 		covered[name] = true
 		for _, m := range msgs {
+			declared := m.Size()
+			if body, ok := transport.WireBody(m); ok {
+				if declared != len(body) {
+					t.Errorf("%s: declared Size()=%d but binary wire body is %d bytes",
+						name, declared, len(body))
+				} else {
+					t.Logf("%s: binary, %d bytes exact", name, declared)
+				}
+				continue
+			}
 			wire, err := transport.WireSize(m)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			declared := m.Size()
 			slack := wire/10 + 96
 			drift := declared - wire
 			if drift < 0 {
 				drift = -drift
 			}
 			if drift > slack {
-				t.Errorf("%s: declared Size()=%d but wire=%d (drift %d > allowed %d)",
+				t.Errorf("%s: declared Size()=%d but gob wire=%d (drift %d > allowed %d)",
 					name, declared, wire, drift, slack)
 			} else {
-				t.Logf("%s: declared %d, wire %d", name, declared, wire)
+				t.Logf("%s: gob fallback, declared %d, wire %d", name, declared, wire)
 			}
 		}
 	}

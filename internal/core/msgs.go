@@ -7,7 +7,11 @@ import (
 
 // Protocol messages. Size() reports payload bytes for the network cost
 // model; contents are passed by reference (the simulator runs in one
-// address space) but every transfer is charged its wire size.
+// address space) but every transfer is charged its wire size. Messages
+// with a binary codec (wire.go) declare the exact byte count their
+// encoder produces — wire_test.go pins Size() == len(encoding) — while
+// the cold-path gob messages keep modelled sizes audited with slack by
+// TestMsgSizeMatchesWire.
 
 // --- paging ---
 
@@ -18,7 +22,7 @@ type pageReq struct {
 	Hops int
 }
 
-func (pageReq) Size() int { return 16 }
+func (m pageReq) Size() int { return iLen(m.Page) + iLen(m.Hops) }
 
 // pageResp carries the page contents and the vector clock summarizing the
 // writes reflected in it.
@@ -27,7 +31,7 @@ type pageResp struct {
 	Applied vc.VC
 }
 
-func (m pageResp) Size() int { return len(m.Data) + 4*len(m.Applied) + 8 }
+func (m pageResp) Size() int { return vcLen(m.Applied) + iLen(len(m.Data)) + len(m.Data) }
 
 // --- diffing ---
 
@@ -40,7 +44,7 @@ type diffReq struct {
 	SeesFS bool
 }
 
-func (m diffReq) Size() int { return 12 + 8*len(m.Wants) }
+func (m diffReq) Size() int { return iLen(m.Page) + 1 + keysLen(m.Wants) }
 
 // diffResp returns the requested diffs.
 type diffResp struct {
@@ -49,11 +53,11 @@ type diffResp struct {
 }
 
 func (m diffResp) Size() int {
-	n := 8
+	n := iLen(len(m.Diffs))
 	for _, d := range m.Diffs {
 		n += d.EncodedSize()
 	}
-	return n
+	return n + keysLen(m.Keys)
 }
 
 // --- span prefetch (batched paging + diffing) ---
@@ -79,9 +83,13 @@ type spanFetchReq struct {
 }
 
 func (m spanFetchReq) Size() int {
-	n := 16 + 8*len(m.Pages)
+	n := iLen(len(m.Pages))
+	for _, p := range m.Pages {
+		n += iLen(p)
+	}
+	n += iLen(len(m.Diffs))
 	for _, d := range m.Diffs {
-		n += 12 + 8*len(d.Wants)
+		n += iLen(d.Page) + 1 + keysLen(d.Wants)
 	}
 	return n
 }
@@ -113,15 +121,13 @@ type spanFetchResp struct {
 }
 
 func (m spanFetchResp) Size() int {
-	n := 16
+	n := iLen(len(m.Pages))
 	for _, p := range m.Pages {
-		n += 12
-		if p.Served {
-			n += len(p.Data) + 4*len(p.Applied)
-		}
+		n += iLen(p.Page) + 1 + vcLen(p.Applied) + iLen(len(p.Data)) + len(p.Data)
 	}
+	n += iLen(len(m.Diffs))
 	for _, d := range m.Diffs {
-		n += 12 + 8*len(d.Keys)
+		n += iLen(d.Page) + keysLen(d.Keys) + iLen(len(d.Diffs))
 		for _, df := range d.Diffs {
 			n += df.EncodedSize()
 		}
@@ -148,7 +154,7 @@ type ownReq struct {
 	Applied vc.VC
 }
 
-func (m ownReq) Size() int { return 20 + 4*len(m.Applied) }
+func (m ownReq) Size() int { return iLen(m.Page) + i32Len(m.Version) + 2 + vcLen(m.Applied) }
 
 // ownResp grants or refuses ownership. On grant, Version is the new
 // version (requester's perceived version + 1) and the page contents ride
@@ -162,11 +168,7 @@ type ownResp struct {
 }
 
 func (m ownResp) Size() int {
-	n := 16
-	if m.Data != nil {
-		n += len(m.Data) + 4*len(m.Applied)
-	}
-	return n
+	return 1 + i32Len(m.Version) + vcLen(m.Applied) + iLen(len(m.Data)) + len(m.Data)
 }
 
 // --- ownership (pure SW protocol, home-based) ---
@@ -178,7 +180,7 @@ type swOwnReq struct {
 	Hops int
 }
 
-func (swOwnReq) Size() int { return 16 }
+func (m swOwnReq) Size() int { return iLen(m.Page) + iLen(m.Hops) }
 
 // swOwnGrant transfers ownership and the page.
 type swOwnGrant struct {
@@ -187,7 +189,9 @@ type swOwnGrant struct {
 	Applied vc.VC
 }
 
-func (m swOwnGrant) Size() int { return 12 + len(m.Data) + 4*len(m.Applied) }
+func (m swOwnGrant) Size() int {
+	return i32Len(m.Version) + vcLen(m.Applied) + iLen(len(m.Data)) + len(m.Data)
+}
 
 // --- home flushes (HLRC) ---
 
@@ -279,7 +283,7 @@ type barArrive struct {
 }
 
 func (m barArrive) Size() int {
-	return 16 + 4*len(m.KnownTS) + intervalsWireSize(m.Intervals, m.nprocs)
+	return uLen(uint64(m.Epoch)) + tsLen(m.KnownTS) + intervalsLen(m.Intervals) + 1 + iLen(m.nprocs)
 }
 
 // barRelease releases a waiter with the intervals it lacks and the global
@@ -301,5 +305,9 @@ type gcHint struct {
 }
 
 func (m barRelease) Size() int {
-	return 8 + 4*len(m.Global) + intervalsWireSize(m.Intervals, m.nprocs) + 8*len(m.Hints)
+	n := intervalsLen(m.Intervals) + tsLen(m.Global) + 1 + iLen(len(m.Hints))
+	for _, h := range m.Hints {
+		n += iLen(h.Page) + iLen(h.Owner) + i32Len(h.Version)
+	}
+	return n + iLen(m.nprocs)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"adsm/internal/mem"
 	"adsm/internal/transport"
@@ -41,6 +42,48 @@ func (n *Node) PrefetchRange(addr, size int) {
 	n.spanPrefetch(addr, size, true)
 }
 
+// Range is one byte range of a multi-range prefetch hint.
+type Range struct {
+	Addr, Size int
+}
+
+// PrefetchRanges is the multi-range form of PrefetchRange: one hint
+// covering several disjoint ranges (e.g. the boundary rows of different
+// grids a stencil phase is about to read) batches all their invalid pages
+// into a single planned Multicall, where per-range hints would issue one
+// batch — or, for single-page ranges, no batch at all — per range. The
+// ranges may overlap or touch the same page; pages are deduplicated. Like
+// the single-range hint it is read-intent, never changes what a program
+// computes, and is a no-op when batching cannot win.
+func (n *Node) PrefetchRanges(ranges []Range) {
+	var pages []int
+	for _, r := range ranges {
+		if r.Size == 0 {
+			continue
+		}
+		if r.Addr < 0 || r.Size < 0 || r.Addr+r.Size > n.c.allocated {
+			panic(fmt.Sprintf("dsm: prefetch [%d,%d) outside shared segment (%d allocated)",
+				r.Addr, r.Addr+r.Size, n.c.allocated))
+		}
+		first := r.Addr >> mem.PageShift
+		last := (r.Addr + r.Size - 1) >> mem.PageShift
+		for pg := first; pg <= last; pg++ {
+			pages = append(pages, pg)
+		}
+	}
+	if n.c.params.PerWordSpans || !n.c.params.SpanPrefetch || len(pages) == 0 {
+		return
+	}
+	sort.Ints(pages)
+	uniq := pages[:1]
+	for _, pg := range pages[1:] {
+		if pg != uniq[len(uniq)-1] {
+			uniq = append(uniq, pg)
+		}
+	}
+	n.prefetchPages(uniq, true)
+}
+
 // spanPlan is one page's share of a batched span fetch.
 type spanPlan struct {
 	pg     int
@@ -50,15 +93,25 @@ type spanPlan struct {
 }
 
 // spanPrefetch batches the coherence work of the span [addr, addr+size)
-// before the per-page execution loop runs. Read spans batch under every
-// protocol; write-only spans only where the protocol's write fault
-// validates without an ownership grant. Process context.
+// before the per-page execution loop runs. Process context.
 func (n *Node) spanPrefetch(addr, size int, read bool) {
 	first := addr >> mem.PageShift
 	last := (addr + size - 1) >> mem.PageShift
 	if first == last {
 		return // single-page spans keep the serial path
 	}
+	pages := make([]int, 0, last-first+1)
+	for pg := first; pg <= last; pg++ {
+		pages = append(pages, pg)
+	}
+	n.prefetchPages(pages, read)
+}
+
+// prefetchPages batches the coherence work of a sorted, deduplicated page
+// list. Read batches form under every protocol; write-only batches only
+// where the protocol's write fault validates without an ownership grant.
+// Process context.
+func (n *Node) prefetchPages(pages []int, read bool) {
 	if read {
 		if !n.c.policy.PrefetchReadSpans() {
 			return
@@ -70,7 +123,7 @@ func (n *Node) spanPrefetch(addr, size int, read bool) {
 	var plans []spanPlan
 	declined := 0
 	rounds := 0 // blocking rounds the serial path would take for this work
-	for pg := first; pg <= last; pg++ {
+	for _, pg := range pages {
 		ps := n.pages[pg]
 		if ps.status != pageInvalid || ps.owner {
 			// Owned-but-invalid pages (a GC collapse) take the owner

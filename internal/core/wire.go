@@ -1,0 +1,540 @@
+package core
+
+import (
+	"adsm/internal/mem"
+	"adsm/internal/transport"
+	"adsm/internal/vc"
+)
+
+// Hand-rolled binary encodings for the hot protocol messages (the
+// AppendWire/DecodeWire hooks registered in codec.go). Layout conventions
+// are transport/wire.go's: uvarint integers, count-prefixed slices with
+// zero counts decoding to nil, and large []byte payloads (page contents,
+// diff run data) declared by length in the metadata but carried in a
+// payload section after it — the transport sends them as separate iovecs
+// and the decoder slices them out of the frame blob without copying.
+//
+// Every message's Size() in msgs.go is the exact byte count these
+// encoders produce; wire_test.go pins the two to each other and to the
+// gob round-trip. Cold-path messages (hlrcFlush/hlrcAck, homeBind*,
+// acq*) keep the gob fallback and modelled sizes.
+
+// --- append/size/read primitives ---
+
+func putU(b []byte, v uint64) []byte  { return transport.AppendUvarint(b, v) }
+func putI(b []byte, v int) []byte     { return transport.AppendUvarint(b, uint64(v)) }
+func putI32(b []byte, v int32) []byte { return transport.AppendUvarint(b, uint64(uint32(v))) }
+
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func uLen(v uint64) int  { return transport.UvarintLen(v) }
+func iLen(v int) int     { return uLen(uint64(v)) }
+func i32Len(v int32) int { return uLen(uint64(uint32(v))) }
+
+func putTS(b []byte, ts []int32) []byte {
+	b = putI(b, len(ts))
+	for _, e := range ts {
+		b = putI32(b, e)
+	}
+	return b
+}
+
+func tsLen(ts []int32) int {
+	n := iLen(len(ts))
+	for _, e := range ts {
+		n += i32Len(e)
+	}
+	return n
+}
+
+func readTS(r *transport.WireReader) []int32 {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	ts := make([]int32, n)
+	for i := range ts {
+		ts[i] = r.I32()
+	}
+	return ts
+}
+
+func putVC(b []byte, v vc.VC) []byte { return putTS(b, v) }
+func vcLen(v vc.VC) int              { return tsLen(v) }
+
+func readVC(r *transport.WireReader) vc.VC {
+	ts := readTS(r)
+	if ts == nil {
+		return nil
+	}
+	return vc.VC(ts)
+}
+
+func putKeys(b []byte, ks []wnKey) []byte {
+	b = putI(b, len(ks))
+	for _, k := range ks {
+		b = putI(b, k.page)
+		b = putI(b, k.proc)
+		b = putI32(b, k.ts)
+	}
+	return b
+}
+
+func keysLen(ks []wnKey) int {
+	n := iLen(len(ks))
+	for _, k := range ks {
+		n += iLen(k.page) + iLen(k.proc) + i32Len(k.ts)
+	}
+	return n
+}
+
+func readKeys(r *transport.WireReader) []wnKey {
+	n := r.Count(3)
+	if n == 0 {
+		return nil
+	}
+	ks := make([]wnKey, n)
+	for i := range ks {
+		ks[i] = wnKey{page: r.Int(), proc: r.Int(), ts: r.I32()}
+	}
+	return ks
+}
+
+// Intervals flatten exactly like the gob wire form: per interval its proc,
+// ts and VC, then the write notices without their back-pointer (the
+// decoder re-links each notice to its enclosing interval).
+
+func putIntervals(b []byte, ivs []*Interval) []byte {
+	b = putI(b, len(ivs))
+	for _, iv := range ivs {
+		b = putI(b, iv.Proc)
+		b = putI32(b, iv.TS)
+		b = putVC(b, iv.VC)
+		b = putI(b, len(iv.WNs))
+		for _, wn := range iv.WNs {
+			b = putI(b, wn.Page)
+			b = putBool(b, wn.Owner)
+			b = putI32(b, wn.Version)
+			b = putI(b, wn.DataHint)
+		}
+	}
+	return b
+}
+
+func intervalsLen(ivs []*Interval) int {
+	n := iLen(len(ivs))
+	for _, iv := range ivs {
+		n += iLen(iv.Proc) + i32Len(iv.TS) + vcLen(iv.VC) + iLen(len(iv.WNs))
+		for _, wn := range iv.WNs {
+			n += iLen(wn.Page) + 1 + i32Len(wn.Version) + iLen(wn.DataHint)
+		}
+	}
+	return n
+}
+
+func readIntervals(r *transport.WireReader) []*Interval {
+	n := r.Count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]*Interval, n)
+	for i := range out {
+		iv := &Interval{Proc: r.Int(), TS: r.I32(), VC: readVC(r)}
+		nw := r.Count(4)
+		if nw > 0 {
+			iv.WNs = make([]*WriteNotice, nw)
+			for j := range iv.WNs {
+				iv.WNs[j] = &WriteNotice{Page: r.Int(), Int: iv, Owner: r.Bool(),
+					Version: r.I32(), DataHint: r.Int()}
+			}
+		}
+		out[i] = iv
+	}
+	return out
+}
+
+// Diff metadata: uvarint page and run count, then per run a uvarint
+// (offset, length) header. The run data bytes go to the payload section;
+// the decoder's second pass slices them back in traversal order. The
+// total (meta + data) is exactly mem.Diff.EncodedSize.
+
+func putDiffMeta(b []byte, payloads [][]byte, d *mem.Diff) ([]byte, [][]byte) {
+	b = putI(b, d.Page)
+	b = putI(b, len(d.Runs))
+	for _, run := range d.Runs {
+		b = putI(b, run.Off)
+		b = putI(b, len(run.Data))
+		if len(run.Data) > 0 {
+			payloads = append(payloads, run.Data)
+		}
+	}
+	return b, payloads
+}
+
+func readDiffMeta(r *transport.WireReader, lens []int) (*mem.Diff, []int) {
+	d := &mem.Diff{Page: r.Int()}
+	nr := r.Count(2)
+	if nr > 0 {
+		d.Runs = make([]mem.Run, nr)
+		for j := range d.Runs {
+			d.Runs[j].Off = r.Int()
+			lens = append(lens, r.Int())
+		}
+	}
+	return d, lens
+}
+
+// readDiffData fills one diff's run payloads from the payload section.
+func readDiffData(r *transport.WireReader, d *mem.Diff, lens []int) []int {
+	for j := range d.Runs {
+		d.Runs[j].Data = r.Bytes(lens[0])
+		lens = lens[1:]
+	}
+	return lens
+}
+
+// --- pageReq / pageResp ---
+
+func pageReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(pageReq)
+	b = putI(b, r.Page)
+	b = putI(b, r.Hops)
+	return b, payloads
+}
+
+func pageReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := pageReq{Page: r.Int(), Hops: r.Int()}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func pageRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(pageResp)
+	b = putVC(b, r.Applied)
+	b = putI(b, len(r.Data))
+	if len(r.Data) > 0 {
+		payloads = append(payloads, r.Data)
+	}
+	return b, payloads
+}
+
+func pageRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m pageResp
+	m.Applied = readVC(r)
+	m.Data = r.Bytes(r.Int())
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- diffReq / diffResp ---
+
+func diffReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(diffReq)
+	b = putI(b, r.Page)
+	b = putBool(b, r.SeesFS)
+	b = putKeys(b, r.Wants)
+	return b, payloads
+}
+
+func diffReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := diffReq{Page: r.Int(), SeesFS: r.Bool()}
+	m.Wants = readKeys(r)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func diffRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(diffResp)
+	b = putI(b, len(r.Diffs))
+	for _, d := range r.Diffs {
+		b, payloads = putDiffMeta(b, payloads, d)
+	}
+	b = putKeys(b, r.Keys)
+	return b, payloads
+}
+
+func diffRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m diffResp
+	var lens []int
+	nd := r.Count(2)
+	if nd > 0 {
+		m.Diffs = make([]*mem.Diff, nd)
+		for i := range m.Diffs {
+			m.Diffs[i], lens = readDiffMeta(r, lens)
+		}
+	}
+	m.Keys = readKeys(r)
+	for _, d := range m.Diffs {
+		lens = readDiffData(r, d, lens)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- spanFetchReq / spanFetchResp ---
+
+func spanFetchReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(spanFetchReq)
+	b = putI(b, len(r.Pages))
+	for _, p := range r.Pages {
+		b = putI(b, p)
+	}
+	b = putI(b, len(r.Diffs))
+	for _, d := range r.Diffs {
+		b = putI(b, d.Page)
+		b = putBool(b, d.SeesFS)
+		b = putKeys(b, d.Wants)
+	}
+	return b, payloads
+}
+
+func spanFetchReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m spanFetchReq
+	np := r.Count(1)
+	if np > 0 {
+		m.Pages = make([]int, np)
+		for i := range m.Pages {
+			m.Pages[i] = r.Int()
+		}
+	}
+	nd := r.Count(3)
+	if nd > 0 {
+		m.Diffs = make([]spanDiffWant, nd)
+		for i := range m.Diffs {
+			m.Diffs[i] = spanDiffWant{Page: r.Int(), SeesFS: r.Bool()}
+			m.Diffs[i].Wants = readKeys(r)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func spanFetchRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(spanFetchResp)
+	b = putI(b, len(r.Pages))
+	for _, p := range r.Pages {
+		b = putI(b, p.Page)
+		b = putBool(b, p.Served)
+		b = putVC(b, p.Applied)
+		b = putI(b, len(p.Data))
+		if len(p.Data) > 0 {
+			payloads = append(payloads, p.Data)
+		}
+	}
+	b = putI(b, len(r.Diffs))
+	for _, d := range r.Diffs {
+		b = putI(b, d.Page)
+		b = putKeys(b, d.Keys)
+		b = putI(b, len(d.Diffs))
+		for _, df := range d.Diffs {
+			b, payloads = putDiffMeta(b, payloads, df)
+		}
+	}
+	return b, payloads
+}
+
+func spanFetchRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m spanFetchResp
+	np := r.Count(4)
+	pageLens := make([]int, 0, np)
+	if np > 0 {
+		m.Pages = make([]spanPageCopy, np)
+		for i := range m.Pages {
+			m.Pages[i] = spanPageCopy{Page: r.Int(), Served: r.Bool(), Applied: readVC(r)}
+			pageLens = append(pageLens, r.Int())
+		}
+	}
+	var lens []int
+	nb := r.Count(3)
+	if nb > 0 {
+		m.Diffs = make([]spanDiffBundle, nb)
+		for i := range m.Diffs {
+			m.Diffs[i] = spanDiffBundle{Page: r.Int()}
+			m.Diffs[i].Keys = readKeys(r)
+			ndf := r.Count(2)
+			if ndf > 0 {
+				m.Diffs[i].Diffs = make([]*mem.Diff, ndf)
+				for j := range m.Diffs[i].Diffs {
+					m.Diffs[i].Diffs[j], lens = readDiffMeta(r, lens)
+				}
+			}
+		}
+	}
+	for i := range m.Pages {
+		m.Pages[i].Data = r.Bytes(pageLens[i])
+	}
+	for _, d := range m.Diffs {
+		for _, df := range d.Diffs {
+			lens = readDiffData(r, df, lens)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- ownership ---
+
+func ownReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(ownReq)
+	b = putI(b, r.Page)
+	b = putI32(b, r.Version)
+	b = putBool(b, r.NeedPage)
+	b = putBool(b, r.Resume)
+	b = putVC(b, r.Applied)
+	return b, payloads
+}
+
+func ownReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := ownReq{Page: r.Int(), Version: r.I32(), NeedPage: r.Bool(), Resume: r.Bool()}
+	m.Applied = readVC(r)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func ownRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(ownResp)
+	b = putBool(b, r.Granted)
+	b = putI32(b, r.Version)
+	b = putVC(b, r.Applied)
+	b = putI(b, len(r.Data))
+	if len(r.Data) > 0 {
+		payloads = append(payloads, r.Data)
+	}
+	return b, payloads
+}
+
+func ownRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := ownResp{Granted: r.Bool(), Version: r.I32()}
+	m.Applied = readVC(r)
+	m.Data = r.Bytes(r.Int())
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func swOwnReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(swOwnReq)
+	b = putI(b, r.Page)
+	b = putI(b, r.Hops)
+	return b, payloads
+}
+
+func swOwnReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := swOwnReq{Page: r.Int(), Hops: r.Int()}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func swOwnGrantAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(swOwnGrant)
+	b = putI32(b, r.Version)
+	b = putVC(b, r.Applied)
+	b = putI(b, len(r.Data))
+	if len(r.Data) > 0 {
+		payloads = append(payloads, r.Data)
+	}
+	return b, payloads
+}
+
+func swOwnGrantDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := swOwnGrant{Version: r.I32()}
+	m.Applied = readVC(r)
+	m.Data = r.Bytes(r.Int())
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- barriers ---
+
+func barArriveAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(barArrive)
+	b = putU(b, uint64(r.Epoch))
+	b = putTS(b, r.KnownTS)
+	b = putIntervals(b, r.Intervals)
+	b = putBool(b, r.MemPressure)
+	b = putI(b, r.nprocs)
+	return b, payloads
+}
+
+func barArriveDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m barArrive
+	m.Epoch = int64(r.Uvarint())
+	m.KnownTS = readTS(r)
+	m.Intervals = readIntervals(r)
+	m.MemPressure = r.Bool()
+	m.nprocs = r.Int()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func barReleaseAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(barRelease)
+	b = putIntervals(b, r.Intervals)
+	b = putTS(b, r.Global)
+	b = putBool(b, r.GC)
+	b = putI(b, len(r.Hints))
+	for _, h := range r.Hints {
+		b = putI(b, h.Page)
+		b = putI(b, h.Owner)
+		b = putI32(b, h.Version)
+	}
+	b = putI(b, r.nprocs)
+	return b, payloads
+}
+
+func barReleaseDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m barRelease
+	m.Intervals = readIntervals(r)
+	m.Global = readTS(r)
+	m.GC = r.Bool()
+	nh := r.Count(3)
+	if nh > 0 {
+		m.Hints = make([]gcHint, nh)
+		for i := range m.Hints {
+			m.Hints[i] = gcHint{Page: r.Int(), Owner: r.Int(), Version: r.I32()}
+		}
+	}
+	m.nprocs = r.Int()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -128,8 +128,11 @@ type TransportCheck struct {
 // TransportEquivalence runs the deterministic stencil under the simulator
 // and the in-process TCP mesh for every given protocol and asserts
 // identical checksums; for the timing-independent protocols (MW, HLRC) it
-// additionally asserts identical message and byte counts.
-func TransportEquivalence(procs int, protos []adsm.Protocol) ([]TransportCheck, error) {
+// additionally asserts identical message and byte counts. Optional
+// mutators are applied to the TCP side's config only — the forced-gob
+// smoke uses one to run the whole mesh over escape frames and show the
+// protocol result does not depend on the frame encoding.
+func TransportEquivalence(procs int, protos []adsm.Protocol, tcpMut ...func(*adsm.Config)) ([]TransportCheck, error) {
 	var out []TransportCheck
 	for _, proto := range protos {
 		countable := proto == adsm.MW || proto == adsm.HLRC
@@ -144,6 +147,9 @@ func TransportEquivalence(procs int, protos []adsm.Protocol) ([]TransportCheck, 
 		tcp := newEquivProgram(procs)
 		tcfg := base
 		adsm.WithTransport(adsm.TCPTransport)(&tcfg)
+		for _, mut := range tcpMut {
+			mut(&tcfg)
+		}
 		tcpRep, tcpSum, err := tcp.run(tcfg)
 		if err != nil {
 			return out, fmt.Errorf("equivalence: %v under tcp: %w", proto, err)

@@ -46,6 +46,14 @@ type PrefetchCell struct {
 
 	OnTCPWall  time.Duration // best-of-3 host wall clock under tcp, prefetch on
 	OffTCPWall time.Duration // best-of-3 host wall clock under tcp, prefetch off
+
+	// Wire efficiency of the best tcp runs: the real frame bytes the
+	// binary encoding put on the sockets next to the protocol model's
+	// Msg.Size()+HeaderBytes accounting for the same run.
+	OnWireBytes   int64
+	OffWireBytes  int64
+	OnModelBytes  int64
+	OffModelBytes int64
 }
 
 // VirtualSpeedup is the virtual-time ratio off/on (>1: batching wins).
@@ -152,9 +160,13 @@ func (m *Matrix) PrefetchSweepData(tcp bool) []PrefetchCell {
 					}
 					if cell.OnTCPWall == 0 || wallOn < cell.OnTCPWall {
 						cell.OnTCPWall = wallOn
+						cell.OnWireBytes = tcpOn.report.Stats.WireBytes
+						cell.OnModelBytes = tcpOn.report.Stats.DataBytes
 					}
 					if cell.OffTCPWall == 0 || wallOff < cell.OffTCPWall {
 						cell.OffTCPWall = wallOff
+						cell.OffWireBytes = tcpOff.report.Stats.WireBytes
+						cell.OffModelBytes = tcpOff.report.Stats.DataBytes
 					}
 				}
 			}
@@ -170,7 +182,7 @@ func (m *Matrix) PrefetchSweepData(tcp bool) []PrefetchCell {
 func (m *Matrix) PrefetchSweep() string {
 	t := &table{header: []string{"App", "Protocol", "Virtual off (s)", "Virtual on (s)",
 		"Sim speedup", "Msgs off", "Msgs on", "Batches", "Pages", "Fallbacks",
-		"TCP off (ms)", "TCP on (ms)", "TCP speedup"}}
+		"TCP off (ms)", "TCP on (ms)", "TCP speedup", "Wire on (KB)", "Model on (KB)"}}
 	for _, c := range m.PrefetchSweepData(true) {
 		t.add(c.App, c.Proto.String(),
 			seconds(c.OffVirtual), seconds(c.OnVirtual),
@@ -179,9 +191,11 @@ func (m *Matrix) PrefetchSweep() string {
 			fmt.Sprint(c.BatchedFetches), fmt.Sprint(c.PrefetchPages), fmt.Sprint(c.SerialFallbacks),
 			fmt.Sprintf("%.1f", float64(c.OffTCPWall.Microseconds())/1000),
 			fmt.Sprintf("%.1f", float64(c.OnTCPWall.Microseconds())/1000),
-			fmt.Sprintf("%.2fx", c.TCPSpeedup()))
+			fmt.Sprintf("%.2fx", c.TCPSpeedup()),
+			fmt.Sprintf("%.1f", float64(c.OnWireBytes)/1024),
+			fmt.Sprintf("%.1f", float64(c.OnModelBytes)/1024))
 	}
 	return "Prefetch experiment: span fetches batched into one overlapped Multicall vs serial faults\n" +
 		"(checksums verified identical per cell; tcp wall clock is best-of-" +
-		fmt.Sprint(prefetchSweepReps) + ")\n\n" + t.String()
+		fmt.Sprint(prefetchSweepReps) + "; wire KB is the binary framing's real cost, model KB the Msg.Size() accounting)\n\n" + t.String()
 }

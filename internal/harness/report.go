@@ -65,6 +65,12 @@ type BenchPrefetchCell struct {
 	BatchedFetches  int64  `json:"batched_fetches"`
 	PrefetchPages   int64  `json:"prefetch_pages"`
 	SerialFallbacks int64  `json:"serial_fallbacks"`
+
+	// Real tcp wire bytes next to the model accounting, present only when
+	// the sweep ran the tcp side (omitted from the archived sim baselines,
+	// which must stay deterministic).
+	OnWireBytes  int64 `json:"on_wire_bytes,omitempty"`
+	OffWireBytes int64 `json:"off_wire_bytes,omitempty"`
 }
 
 // BenchReport is the full matrix measurement. Home records the default
@@ -124,6 +130,8 @@ func (m *Matrix) BenchReport() BenchReport {
 			BatchedFetches:  cell.BatchedFetches,
 			PrefetchPages:   cell.PrefetchPages,
 			SerialFallbacks: cell.SerialFallbacks,
+			OnWireBytes:     cell.OnWireBytes,
+			OffWireBytes:    cell.OffWireBytes,
 		})
 	}
 	for _, cell := range m.HomeSweepData() {

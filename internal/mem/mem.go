@@ -103,12 +103,25 @@ func (d *Diff) DataBytes() int {
 	return n
 }
 
-// EncodedSize returns the wire size of the diff: page id + per-run
-// (offset, length) headers + data, matching TreadMarks' runlength encoding.
+// EncodedSize returns the exact wire size of the diff under the binary
+// frame format: uvarint page id and run count, then per run a uvarint
+// (offset, length) header plus the data bytes — TreadMarks' runlength
+// encoding with varint headers.
 func (d *Diff) EncodedSize() int {
-	n := 8 // page id + run count
+	n := uvarintLen(uint64(d.Page)) + uvarintLen(uint64(len(d.Runs)))
 	for _, r := range d.Runs {
-		n += 4 + len(r.Data)
+		n += uvarintLen(uint64(r.Off)) + uvarintLen(uint64(len(r.Data))) + len(r.Data)
+	}
+	return n
+}
+
+// uvarintLen is the LEB128 length of v (kept local so mem stays a leaf
+// package; must agree with transport.UvarintLen).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
 	}
 	return n
 }

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"reflect"
+	"sort"
 	"sync"
 )
 
@@ -36,6 +39,22 @@ type Codec struct {
 	Encode func(m Msg) any
 	// Decode reconstructs the message from a decoded wire value.
 	Decode func(v any) Msg
+	// AppendWire, set together with DecodeWire, gives the message a
+	// hand-rolled binary encoding that real transports use in place of the
+	// gob fallback. It appends the message's metadata to b and the large
+	// []byte payloads (pages, diff run data) to payloads in traversal
+	// order, returning both extended slices; the transport sends meta then
+	// payloads as one vectored write, so payload bytes never pass through
+	// an intermediate buffer (and appending to caller-pooled slices keeps
+	// the hot path allocation-free). Payload slices must stay immutable
+	// until the write completes (protocol messages carry fresh copies, so
+	// this holds by construction).
+	AppendWire func(m Msg, b []byte, payloads [][]byte) ([]byte, [][]byte)
+	// DecodeWire reconstructs the message from one contiguous frame body
+	// (metadata followed by payload bytes). Implementations slice payloads
+	// out of body without copying — the decoded message owns (aliases) the
+	// frame blob. Malformed input must return an error, never panic.
+	DecodeWire func(body []byte) (Msg, error)
 }
 
 var (
@@ -58,12 +77,18 @@ func RegisterCodec(c Codec) error {
 	if (c.Encode == nil) != (c.Decode == nil) || (c.Wire == nil) != (c.Encode == nil) {
 		return fmt.Errorf("transport: codec %q must set Wire, Encode and Decode together", c.Name)
 	}
+	if (c.AppendWire == nil) != (c.DecodeWire == nil) {
+		return fmt.Errorf("transport: codec %q must set AppendWire and DecodeWire together", c.Name)
+	}
 	wire := c.Wire
 	if wire == nil {
 		wire = c.Msg
 	}
 	codecMu.Lock()
 	defer codecMu.Unlock()
+	if wireFrozen && c.AppendWire != nil {
+		return fmt.Errorf("transport: binary codec %q registered after wire ids were frozen", c.Name)
+	}
 	if _, ok := codecByName[c.Name]; ok {
 		return fmt.Errorf("transport: codec name %q already registered", c.Name)
 	}
@@ -133,6 +158,90 @@ func DecodeMsg(v any) (Msg, error) {
 		return v.(Msg), nil
 	}
 	return c.Decode(v), nil
+}
+
+// Binary wire ids. Frames carrying a binary body name their codec by a
+// dense uint16 id instead of a string. Ids are assigned deterministically
+// — codecs with binary hooks, sorted by Name, numbered from 1 — and frozen
+// at the first transport use, so every process linking the same message set
+// agrees without negotiation. WireDigest folds the id assignment into one
+// value that peers exchange in the mesh handshake: a mismatch (peers built
+// from different message sets) refuses the connection instead of
+// misdecoding frames.
+
+var (
+	wireFreezeOnce sync.Once
+	wireFrozen     bool // guarded by codecMu; set inside the freeze
+	wireByID       []Codec
+	wireIDByMsg    map[reflect.Type]uint16
+	wireDigest     uint64
+)
+
+func freezeWire() {
+	wireFreezeOnce.Do(func() {
+		codecMu.Lock()
+		defer codecMu.Unlock()
+		var names []string
+		for name, c := range codecByName {
+			if c.AppendWire != nil {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		h := fnv.New64a()
+		wireByID = make([]Codec, len(names))
+		wireIDByMsg = make(map[reflect.Type]uint16, len(names))
+		for i, name := range names {
+			c := codecByName[name]
+			wireByID[i] = c
+			wireIDByMsg[reflect.TypeOf(c.Msg)] = uint16(i + 1)
+			io.WriteString(h, name)
+			h.Write([]byte{0})
+		}
+		wireDigest = h.Sum64()
+		wireFrozen = true
+	})
+}
+
+// WireIDOf returns the frozen wire id of m's binary codec, or false if m
+// has no binary encoding (gob fallback). The first call freezes the id
+// assignment; registering further binary codecs afterwards is an error.
+func WireIDOf(m Msg) (uint16, bool) {
+	freezeWire()
+	id, ok := wireIDByMsg[reflect.TypeOf(m)]
+	return id, ok
+}
+
+// WireCodecByID resolves a frozen wire id back to its codec.
+func WireCodecByID(id uint16) (Codec, bool) {
+	freezeWire()
+	if id < 1 || int(id) > len(wireByID) {
+		return Codec{}, false
+	}
+	return wireByID[id-1], true
+}
+
+// WireDigest summarizes the frozen binary codec set; peers exchange it in
+// the mesh handshake and refuse to connect on a mismatch.
+func WireDigest() uint64 {
+	freezeWire()
+	return wireDigest
+}
+
+// WireBody renders m's full binary frame body (metadata followed by the
+// payload section) into one contiguous slice. The transport proper never
+// materializes this — it hands meta and payloads to the socket as separate
+// iovecs — but tests and size audits want the exact on-wire bytes.
+func WireBody(m Msg) ([]byte, bool) {
+	c, ok := CodecOf(m)
+	if !ok || c.AppendWire == nil {
+		return nil, false
+	}
+	meta, payloads := c.AppendWire(m, nil, nil)
+	for _, p := range payloads {
+		meta = append(meta, p...)
+	}
+	return meta, true
 }
 
 // WireSize measures the steady-state gob payload of a message: the bytes

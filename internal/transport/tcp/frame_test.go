@@ -1,0 +1,223 @@
+package tcp
+
+import (
+	"bytes"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"adsm/internal/transport"
+)
+
+// bmsg is a registered test message with binary wire hooks: varint
+// metadata plus a raw payload section, the same shape as the protocol's
+// page and diff carriers. Registered in init (before any transport use),
+// so it gets a frozen wire id like the real hot messages.
+type bmsg struct {
+	N    int
+	Data []byte
+}
+
+func (m bmsg) Size() int {
+	return transport.UvarintLen(uint64(m.N)) +
+		transport.UvarintLen(uint64(len(m.Data))) + len(m.Data)
+}
+
+func bmsgAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(bmsg)
+	b = transport.AppendUvarint(b, uint64(r.N))
+	b = transport.AppendUvarint(b, uint64(len(r.Data)))
+	return b, append(payloads, r.Data)
+}
+
+func bmsgDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m bmsg
+	m.N = r.Int()
+	m.Data = r.Bytes(r.Count(1))
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func init() {
+	transport.MustRegisterCodec(transport.Codec{
+		Name: "tcptest.bmsg", Msg: bmsg{},
+		AppendWire: bmsgAppendWire, DecodeWire: bmsgDecodeWire,
+	})
+}
+
+// roundTripFrame encodes f, writes it through the vectored-write path into
+// a buffer, and reads it back — the full framing path minus the socket.
+func roundTripFrame(t testing.TB, f *frame, forceGob bool) *frame {
+	t.Helper()
+	of, err := encodeFrame(f, forceGob)
+	if err != nil {
+		t.Fatalf("encodeFrame: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeOut(&buf, of); err != nil {
+		t.Fatalf("writeOut: %v", err)
+	}
+	if buf.Len() != of.wire {
+		t.Fatalf("outFrame.wire=%d but %d bytes were written", of.wire, buf.Len())
+	}
+	f2, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("readFrame left %d trailing bytes", buf.Len())
+	}
+	return f2
+}
+
+// TestFrameRoundTripKinds pins the frame format for every body kind: a
+// binary-coded message, the same message forced through the gob escape, a
+// gob-only message, an error reply, a hello handshake and a bodiless bye
+// must all survive encode→vectored write→read with every header field and
+// the message value intact.
+func TestFrameRoundTripKinds(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	cases := []struct {
+		name     string
+		f        *frame
+		forceGob bool
+	}{
+		{"binary", &frame{Op: opCall, From: 1, To: 2, Origin: 1, CallID: 77, Idx: 3,
+			M: bmsg{N: 9000, Data: payload}}, false},
+		{"binary-empty", &frame{Op: opReply, From: 2, To: 1, Origin: 1, CallID: 78,
+			M: bmsg{}}, false},
+		{"forced-gob", &frame{Op: opCall, From: 1, To: 2, Origin: 1, CallID: 79,
+			M: bmsg{N: 5, Data: []byte("abc")}}, true},
+		{"gob-fallback", &frame{Op: opReply, From: 0, To: 3, Origin: 3, CallID: 80, Idx: 1,
+			M: tmsg{N: 42, S: "hello"}}, false},
+		{"err", &frame{Op: opReply, From: 0, To: 1, Origin: 1, CallID: 81,
+			Err: "tcp: something broke"}, false},
+		{"hello", &frame{Op: opHello, From: 4, To: 0, Tag: "sor/mw/8",
+			Digest: 0xdeadbeefcafe}, false},
+		{"hello-reject", &frame{Op: opHello, From: 4, To: 0, Tag: "sor/mw/8",
+			Digest: 1, Err: "mismatch"}, false},
+		{"bye", &frame{Op: opBye, From: 1, To: 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := roundTripFrame(t, tc.f, tc.forceGob)
+			if !reflect.DeepEqual(got, tc.f) {
+				t.Errorf("frame changed in round trip:\n got %+v\nwant %+v", got, tc.f)
+			}
+		})
+	}
+}
+
+// TestBinaryFrameEncodeAllocs asserts the hot-path budget: encoding a
+// binary frame with a 4 KB payload must not allocate (≤1 alloc/frame
+// allowed for pool jitter). The payload travels by reference into the
+// iovec list and the header+metadata reuse the pooled buffer, so the
+// steady state is allocation-free.
+func TestBinaryFrameEncodeAllocs(t *testing.T) {
+	payload := make([]byte, 4096)
+	f := &frame{Op: opCall, From: 1, To: 2, Origin: 1, CallID: 1, M: bmsg{N: 7, Data: payload}}
+	// Warm the pool and the iovec capacity.
+	for i := 0; i < 8; i++ {
+		of, err := encodeFrame(f, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		of.fb.recycle()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		of, err := encodeFrame(f, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		of.fb.recycle()
+	})
+	if avg > 1 {
+		t.Errorf("binary frame encode allocates %.1f times per frame (budget ≤1)", avg)
+	}
+}
+
+// TestForceGobMesh runs a real loopback mesh with ForceGob set: messages
+// that have binary codecs must transparently travel in gob escape frames
+// and arrive intact — the knob the CI fallback smoke turns.
+func TestForceGobMesh(t *testing.T) {
+	rt, err := New(Options{Procs: 2, ForceGob: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Register(0, func(c transport.Call, from int, m transport.Msg) { c.Reply(m) })
+	rt.Register(1, func(c transport.Call, from int, m transport.Msg) {
+		r := m.(bmsg)
+		c.Reply(bmsg{N: r.N + 1, Data: r.Data})
+	})
+	var ok atomic.Bool
+	rt.Spawn(0, "n0", func(p transport.Proc) {
+		r := rt.Call(p, 1, bmsg{N: 1, Data: []byte{0xaa, 0xbb}}).(bmsg)
+		if r.N != 2 || !bytes.Equal(r.Data, []byte{0xaa, 0xbb}) {
+			t.Errorf("forced-gob call returned %+v", r)
+		}
+		ok.Store(true)
+	})
+	rt.Spawn(1, "n1", func(p transport.Proc) {})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Load() {
+		t.Fatal("body did not complete")
+	}
+	if rt.WireFrames() == 0 || rt.WireBytes() == 0 {
+		t.Errorf("wire counters empty: %d frames, %d bytes", rt.WireFrames(), rt.WireBytes())
+	}
+}
+
+// The encode/decode microbenchmarks CI runs to keep the binary path honest
+// against the gob escape it replaced (report with -benchmem to see the
+// allocation gap).
+
+func benchmarkEncode(b *testing.B, forceGob bool) {
+	payload := make([]byte, 4096)
+	f := &frame{Op: opCall, From: 1, To: 2, Origin: 1, CallID: 1, M: bmsg{N: 7, Data: payload}}
+	b.SetBytes(int64(headerLen + bmsg{N: 7, Data: payload}.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		of, err := encodeFrame(f, forceGob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		of.fb.recycle()
+	}
+}
+
+func BenchmarkFrameEncodeBinary(b *testing.B) { benchmarkEncode(b, false) }
+func BenchmarkFrameEncodeGob(b *testing.B)    { benchmarkEncode(b, true) }
+
+func benchmarkDecode(b *testing.B, forceGob bool) {
+	payload := make([]byte, 4096)
+	f := &frame{Op: opCall, From: 1, To: 2, Origin: 1, CallID: 1, M: bmsg{N: 7, Data: payload}}
+	of, err := encodeFrame(f, forceGob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeOut(&buf, of); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := readFrame(bytes.NewReader(wire)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecodeBinary(b *testing.B) { benchmarkDecode(b, false) }
+func BenchmarkFrameDecodeGob(b *testing.B)    { benchmarkDecode(b, true) }

@@ -1,6 +1,8 @@
 // Package tcp implements the transport seam over real TCP connections:
-// each node is a goroutine-or-process endpoint speaking length-prefixed
-// gob frames over net.Conn. One Runtime instance hosts one or more nodes;
+// each node is a goroutine-or-process endpoint speaking binary frames (a
+// fixed 32-byte header plus a hand-rolled binary body for hot messages,
+// with a gob escape frame for the rest) over net.Conn. One Runtime
+// instance hosts one or more nodes;
 // hosting all nodes in one process gives an in-process loopback mesh
 // (every pair of nodes still talks through a real socket), hosting a
 // subset gives one endpoint of a genuine multi-process deployment (the
@@ -57,6 +59,11 @@ type Options struct {
 	// silently-wrong multi-process run into a clear startup error. Empty
 	// fingerprints always match.
 	Fingerprint string
+	// ForceGob carries every message in the gob escape frame instead of
+	// its binary codec — the debugging/CI knob that exercises the fallback
+	// path end to end. Mixed meshes interoperate (the body kind is per
+	// frame), so one endpoint forcing gob does not require the others to.
+	ForceGob bool
 }
 
 // frame ops.
@@ -67,7 +74,44 @@ const (
 	opBye              // orderly shutdown: this endpoint's bodies finished
 )
 
-// frame is the unit on the wire: a length-prefixed gob blob.
+// body kinds: how the bytes after the fixed header are encoded.
+const (
+	bodyNone   = iota // no body (bye)
+	bodyBinary        // hand-rolled binary codec; header names it by wire id
+	bodyGob           // the escape op: gob of the message's wire value
+	bodyErr           // a transport-level failure string (error reply)
+	bodyHello         // handshake: fingerprint tag + codec digest + error
+)
+
+// The unit on the wire is a fixed 32-byte binary header followed by a
+// body. Hot messages (those with AppendWire/DecodeWire hooks) travel as
+// bodyBinary: varint metadata followed by the raw payload bytes, written
+// to the socket as one vectored write (net.Buffers) so a page's 4 KB
+// never passes through an intermediate copy. Messages without binary
+// hooks fall back transparently to a bodyGob escape frame — a fresh gob
+// encoding of their wire value — so the two formats coexist per frame
+// and every protocol keeps working regardless of which messages have
+// binary codecs. Header layout, little-endian:
+//
+//	[0:4)   body length
+//	[4]     op (hello/call/reply/bye)
+//	[5]     body kind
+//	[6:8)   wire id (bodyBinary only; see transport.WireIDOf)
+//	[8:12)  from node
+//	[12:16) to node
+//	[16:20) origin node (survives forwarding)
+//	[20:28) call id
+//	[28:32) multicall slot
+//
+// Traffic accounting still charges Msg.Size()+HeaderBytes (the protocol
+// model); the real framing cost is surfaced separately by the WireStats
+// counters (frames, wire bytes, encode time).
+const headerLen = 32
+
+// maxFrame guards the reader against corrupt length prefixes.
+const maxFrame = 256 << 20
+
+// frame is the in-memory form of one wire frame.
 type frame struct {
 	Op     uint8
 	From   int    // sending node
@@ -77,46 +121,184 @@ type frame struct {
 	Idx    int    // multicall slot
 	Err    string // transport-level failure travelling back to the caller
 	Tag    string // hello only: the dialer's config fingerprint
-	Body   any    // the message's wire value (see transport.RegisterCodec)
+	Digest uint64 // hello only: the frozen binary codec set (transport.WireDigest)
+	M      transport.Msg
 }
 
-// Each frame is encoded with a fresh gob encoder, so it is fully
-// self-delimiting and peers can join mid-stream semantics-wise; the cost
-// is re-sent type descriptors per frame (a couple hundred bytes against a
-// 4 KB page). Traffic accounting deliberately charges Msg.Size(), not the
-// gob framing, so protocol-level counters stay comparable with the
-// simulator.
-//
-// maxFrame guards the reader against corrupt length prefixes.
-const maxFrame = 256 << 20
+// frameBuf is one pooled encode buffer: the header+metadata bytes and the
+// iovec list handed to the socket. Writer goroutines recycle it after the
+// socket write completes — never earlier, because bufs aliases message
+// payloads and b is the frame being sent.
+type frameBuf struct {
+	b    []byte      // header + metadata (or the full gob/err/hello body)
+	bufs net.Buffers // [0] = b, then the payload slices
+}
 
-func encodeFrame(f *frame) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0})
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return nil, err
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} },
+}
+
+// recycle clears the payload references (so the pool never pins pages)
+// and returns the buffer to the pool.
+func (fb *frameBuf) recycle() {
+	for i := range fb.bufs {
+		fb.bufs[i] = nil
 	}
-	b := buf.Bytes()
-	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
-	return b, nil
+	fb.bufs = fb.bufs[:0]
+	framePool.Put(fb)
 }
 
+// outFrame is one encoded frame queued for a writer goroutine.
+type outFrame struct {
+	fb   *frameBuf
+	wire int // total bytes that will hit the socket (header + body)
+}
+
+// appendWriter adapts gob's stream interface to an append buffer.
+type appendWriter struct{ b *[]byte }
+
+func (w appendWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+// encodeFrame renders f into a pooled buffer. On the binary hot path it
+// performs zero steady-state allocations: header and metadata go into the
+// pooled buffer, payload slices are referenced, not copied. forceGob
+// routes every message through the gob escape frame (the debugging/CI
+// knob that exercises the fallback).
+func encodeFrame(f *frame, forceGob bool) (outFrame, error) {
+	fb := framePool.Get().(*frameBuf)
+	b := fb.b[:headerLen]
+	bufs := append(fb.bufs[:0], nil) // slot 0 reserved for header+metadata
+	kind := byte(bodyNone)
+	var wireID uint16
+	switch {
+	case f.M != nil:
+		c, ok := transport.CodecOf(f.M)
+		if !ok {
+			fb.recycle()
+			return outFrame{}, fmt.Errorf("tcp: message %T has no registered codec", f.M)
+		}
+		if id, isBin := transport.WireIDOf(f.M); isBin && !forceGob {
+			kind, wireID = bodyBinary, id
+			b, bufs = c.AppendWire(f.M, b, bufs)
+		} else {
+			kind = bodyGob
+			v, err := transport.EncodeMsg(f.M)
+			if err != nil {
+				fb.recycle()
+				return outFrame{}, err
+			}
+			if err := gob.NewEncoder(appendWriter{&b}).Encode(&v); err != nil {
+				fb.recycle()
+				return outFrame{}, err
+			}
+		}
+	case f.Err != "" && f.Op != opHello:
+		kind = bodyErr
+		b = append(b, f.Err...)
+	case f.Op == opHello:
+		kind = bodyHello
+		b = transport.AppendUvarint(b, uint64(len(f.Tag)))
+		b = append(b, f.Tag...)
+		var dig [8]byte
+		binary.LittleEndian.PutUint64(dig[:], f.Digest)
+		b = append(b, dig[:]...)
+		b = transport.AppendUvarint(b, uint64(len(f.Err)))
+		b = append(b, f.Err...)
+	}
+	bodyLen := len(b) - headerLen
+	for _, p := range bufs {
+		bodyLen += len(p)
+	}
+	binary.LittleEndian.PutUint32(b[0:], uint32(bodyLen))
+	b[4] = f.Op
+	b[5] = kind
+	binary.LittleEndian.PutUint16(b[6:], wireID)
+	binary.LittleEndian.PutUint32(b[8:], uint32(f.From))
+	binary.LittleEndian.PutUint32(b[12:], uint32(f.To))
+	binary.LittleEndian.PutUint32(b[16:], uint32(f.Origin))
+	binary.LittleEndian.PutUint64(b[20:], f.CallID)
+	binary.LittleEndian.PutUint32(b[28:], uint32(f.Idx))
+	fb.b = b
+	bufs[0] = b
+	fb.bufs = bufs
+	return outFrame{fb: fb, wire: headerLen + bodyLen}, nil
+}
+
+// writeOut performs one synchronous frame write (handshake paths; the data
+// plane goes through the per-end writer goroutines) and recycles the
+// buffer.
+func writeOut(w io.Writer, of outFrame) error {
+	wb := of.fb.bufs // copy of the slice header; WriteTo consumes its copy
+	_, err := wb.WriteTo(w)
+	of.fb.recycle()
+	return err
+}
+
+// readFrame reads and decodes one frame. Binary bodies are decoded by
+// slicing the frame blob (the message owns the blob afterwards); gob
+// bodies go through the registered wire-value codec.
 func readFrame(r io.Reader) (*frame, error) {
-	var hdr [4]byte
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[0:])
 	if n > maxFrame {
 		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
 	}
-	blob := make([]byte, n)
-	if _, err := io.ReadFull(r, blob); err != nil {
-		return nil, err
+	var body []byte
+	if n > 0 {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
 	}
-	f := new(frame)
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(f); err != nil {
-		return nil, err
+	f := &frame{
+		Op:     hdr[4],
+		From:   int(binary.LittleEndian.Uint32(hdr[8:])),
+		To:     int(binary.LittleEndian.Uint32(hdr[12:])),
+		Origin: int(binary.LittleEndian.Uint32(hdr[16:])),
+		CallID: binary.LittleEndian.Uint64(hdr[20:]),
+		Idx:    int(binary.LittleEndian.Uint32(hdr[28:])),
+	}
+	switch hdr[5] {
+	case bodyNone:
+	case bodyBinary:
+		id := binary.LittleEndian.Uint16(hdr[6:])
+		c, ok := transport.WireCodecByID(id)
+		if !ok {
+			return nil, fmt.Errorf("tcp: frame names unknown wire codec id %d", id)
+		}
+		m, err := c.DecodeWire(body)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: decoding %s frame: %w", c.Name, err)
+		}
+		f.M = m
+	case bodyGob:
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&v); err != nil {
+			return nil, fmt.Errorf("tcp: decoding gob frame: %w", err)
+		}
+		m, err := transport.DecodeMsg(v)
+		if err != nil {
+			return nil, err
+		}
+		f.M = m
+	case bodyErr:
+		f.Err = string(body)
+	case bodyHello:
+		wr := transport.NewWireReader(body)
+		f.Tag = string(wr.Bytes(wr.Count(1)))
+		f.Digest = binary.LittleEndian.Uint64(wr.Bytes(8))
+		f.Err = string(wr.Bytes(wr.Count(1)))
+		if err := wr.Close(); err != nil {
+			return nil, fmt.Errorf("tcp: malformed hello: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("tcp: unknown frame body kind %d", hdr[5])
 	}
 	return f, nil
 }
@@ -140,7 +322,7 @@ type end struct {
 
 	qmu    sync.Mutex
 	qcond  *sync.Cond
-	q      [][]byte
+	q      []outFrame
 	closed bool
 
 	byeOnce sync.Once
@@ -149,13 +331,14 @@ type end struct {
 
 // Runtime is a TCP transport endpoint implementing transport.Runtime.
 type Runtime struct {
-	procs int
-	local []int
-	addrs []string
-	scale float64
-	start time.Time
-	dialT time.Duration
-	fprnt string
+	procs    int
+	local    []int
+	addrs    []string
+	scale    float64
+	start    time.Time
+	dialT    time.Duration
+	fprnt    string
+	forceGob bool
 
 	// mu is the protocol state lock: bodies hold it except while blocked
 	// in a call; frame dispatch and timers take it around handlers.
@@ -167,6 +350,14 @@ type Runtime struct {
 	bytes    []int64
 	failErr  error
 	finished bool
+
+	// Wire-efficiency counters (transport.WireStats): the real framing
+	// cost next to the protocol model's Msg.Size() accounting. Counted in
+	// sendLocked, so they cover exactly the data-plane frames (calls,
+	// replies, error replies), not the handshake/goodbye control frames.
+	wireFrames int64
+	wireBytes  int64
+	encodeNS   int64
 
 	isLocal   []bool
 	ends      [][]*end // [local node][peer node]
@@ -223,6 +414,7 @@ func New(o Options) (*Runtime, error) {
 		start:    time.Now(),
 		dialT:    dialT,
 		fprnt:    o.Fingerprint,
+		forceGob: o.ForceGob,
 		handlers: make([]transport.Handler, o.Procs),
 		calls:    make(map[uint64]*callState),
 		msgs:     make([]int64, o.Procs),
@@ -304,16 +496,19 @@ func (rt *Runtime) connectMesh() error {
 					ch <- res{err: fmt.Errorf("tcp: node %d received a frame addressed to node %d (op %d) instead of a hello — check that every participant uses the same -addrs order", id, hello.To, hello.Op)}
 					return
 				}
-				ack := &frame{Op: opHello, From: id, To: hello.From, Tag: rt.fprnt}
-				mismatch := hello.Tag != "" && rt.fprnt != "" && hello.Tag != rt.fprnt
-				if mismatch {
+				ack := &frame{Op: opHello, From: id, To: hello.From, Tag: rt.fprnt, Digest: transport.WireDigest()}
+				switch {
+				case hello.Tag != "" && rt.fprnt != "" && hello.Tag != rt.fprnt:
 					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
 						id, hello.From, rt.fprnt, hello.Tag)
+				case hello.Digest != transport.WireDigest():
+					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
+						id, hello.From, transport.WireDigest(), hello.Digest)
 				}
-				if b, err := encodeFrame(ack); err == nil {
-					conn.Write(b)
+				if of, err := encodeFrame(ack, rt.forceGob); err == nil {
+					writeOut(conn, of)
 				}
-				if mismatch {
+				if ack.Err != "" {
 					conn.Close()
 					ch <- res{err: fmt.Errorf("%s", ack.Err)}
 					return
@@ -344,9 +539,10 @@ func (rt *Runtime) connectMesh() error {
 					ch <- res{err: fmt.Errorf("tcp: node %d dial node %d (%s): %w", id, peer, rt.addrs[peer], err)}
 					return
 				}
-				b, err := encodeFrame(&frame{Op: opHello, From: id, To: peer, Tag: rt.fprnt})
+				of, err := encodeFrame(&frame{Op: opHello, From: id, To: peer,
+					Tag: rt.fprnt, Digest: transport.WireDigest()}, rt.forceGob)
 				if err == nil {
-					_, err = conn.Write(b)
+					err = writeOut(conn, of)
 				}
 				if err != nil {
 					conn.Close()
@@ -369,6 +565,12 @@ func (rt *Runtime) connectMesh() error {
 					conn.Close()
 					ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
 						id, peer, rt.fprnt, ack.Tag)}
+					return
+				}
+				if ack.Digest != transport.WireDigest() {
+					conn.Close()
+					ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
+						id, peer, transport.WireDigest(), ack.Digest)}
 					return
 				}
 				conn.SetReadDeadline(time.Time{})
@@ -412,11 +614,13 @@ func (rt *Runtime) newEnd(owner, peer int, conn net.Conn) *end {
 
 // --- the send path (never blocks protocol code) ---
 
-func (e *end) enqueue(b []byte) {
+func (e *end) enqueue(of outFrame) {
 	e.qmu.Lock()
 	if !e.closed {
-		e.q = append(e.q, b)
+		e.q = append(e.q, of)
 		e.qcond.Signal()
+	} else {
+		of.fb.recycle()
 	}
 	e.qmu.Unlock()
 }
@@ -445,10 +649,15 @@ func (e *end) writeLoop() {
 			e.qmu.Unlock()
 			return
 		}
-		b := e.q[0]
+		of := e.q[0]
+		e.q[0] = outFrame{}
 		e.q = e.q[1:]
 		e.qmu.Unlock()
-		if _, err := e.conn.Write(b); err != nil {
+		// One vectored write per frame: header+metadata and the payload
+		// slices go to the socket as a single writev. The pooled buffer is
+		// recycled only after the write completes (payloads alias it and
+		// live protocol data until then).
+		if err := writeOut(e.conn, of); err != nil {
 			if !e.rt.shuttingDown() {
 				e.rt.fail(fmt.Errorf("tcp: node %d write to node %d: %w", e.owner, e.peer, err))
 			}
@@ -479,17 +688,11 @@ func (e *end) readLoop() {
 	}
 }
 
-// dispatch routes one arrived call or reply frame.
+// dispatch routes one arrived call or reply frame. The message was
+// already decoded in readFrame (in the reader goroutine, off the state
+// lock).
 func (rt *Runtime) dispatch(f *frame) {
-	var m transport.Msg
-	if f.Body != nil {
-		var err error
-		m, err = transport.DecodeMsg(f.Body)
-		if err != nil {
-			rt.fail(fmt.Errorf("tcp: decoding frame for node %d: %w", f.To, err))
-			return
-		}
-	}
+	m := f.M
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	defer func() {
@@ -547,7 +750,8 @@ func (rt *Runtime) completeLocked(id uint64, idx int, m transport.Msg, err error
 }
 
 // sendLocked encodes and enqueues one frame between two distinct nodes,
-// charging the sender's traffic counters when it carries a message.
+// charging the sender's traffic counters when it carries a message and
+// the wire-efficiency counters always.
 func (rt *Runtime) sendLocked(f *frame, m transport.Msg) {
 	e := rt.ends[f.From]
 	var ee *end
@@ -558,19 +762,19 @@ func (rt *Runtime) sendLocked(f *frame, m transport.Msg) {
 		panic(fmt.Sprintf("tcp: no connection from node %d to node %d", f.From, f.To))
 	}
 	if m != nil {
-		wire, err := transport.EncodeMsg(m)
-		if err != nil {
-			panic(fmt.Sprintf("tcp: %v", err))
-		}
-		f.Body = wire
+		f.M = m
 		rt.msgs[f.From]++
 		rt.bytes[f.From] += int64(m.Size() + transport.HeaderBytes)
 	}
-	b, err := encodeFrame(f)
+	start := time.Now()
+	of, err := encodeFrame(f, rt.forceGob)
 	if err != nil {
 		panic(fmt.Sprintf("tcp: encoding frame from node %d to node %d: %v", f.From, f.To, err))
 	}
-	ee.enqueue(b)
+	rt.encodeNS += time.Since(start).Nanoseconds()
+	rt.wireFrames++
+	rt.wireBytes += int64(of.wire)
+	ee.enqueue(of)
 }
 
 // deliverLocalLocked dispatches a call whose sender and receiver are the
@@ -752,6 +956,27 @@ func (rt *Runtime) TotalBytes() int64 {
 	return s
 }
 
+// WireFrames reports the data-plane frames sent (transport.WireStats).
+func (rt *Runtime) WireFrames() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.wireFrames
+}
+
+// WireBytes reports the real bytes (header+body) put on the wire.
+func (rt *Runtime) WireBytes() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.wireBytes
+}
+
+// WireEncodeNanos reports cumulative frame-encode time.
+func (rt *Runtime) WireEncodeNanos() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.encodeNS
+}
+
 // --- transport.Runtime ---
 
 // LocalNodes lists the hosted node ids.
@@ -829,8 +1054,8 @@ func (rt *Runtime) goodbye() {
 			if e == nil {
 				continue
 			}
-			if b, err := encodeFrame(&frame{Op: opBye, From: e.owner, To: e.peer}); err == nil {
-				e.enqueue(b)
+			if of, err := encodeFrame(&frame{Op: opBye, From: e.owner, To: e.peer}, rt.forceGob); err == nil {
+				e.enqueue(of)
 			}
 		}
 	}

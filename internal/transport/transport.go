@@ -37,9 +37,25 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // HeaderBytes models the UDP/protocol header charged per message by the
 // traffic counters. Both transports charge Msg.Size()+HeaderBytes per
-// message so protocol-level accounting is comparable across substrates
-// (the actual gob framing overhead of the TCP runtime is not charged).
+// message so protocol-level accounting is comparable across substrates;
+// the TCP runtime's real framing cost is reported separately through the
+// WireStats counters.
 const HeaderBytes = 40
+
+// WireStats is implemented by transports that can report the real cost of
+// their wire encoding next to the protocol model's Msg.Size() accounting:
+// data-plane frames sent, actual bytes (fixed header + body) handed to the
+// socket, and cumulative encode time. The simulator moves references and
+// implements none of this; reports show the counters only when present.
+type WireStats interface {
+	// WireFrames reports the data-plane frames sent by the hosted nodes.
+	WireFrames() int64
+	// WireBytes reports the real bytes (header + body) those frames put on
+	// the wire.
+	WireBytes() int64
+	// WireEncodeNanos reports the cumulative time spent encoding frames.
+	WireEncodeNanos() int64
+}
 
 // NetParams describes the simulated network cost model. It configures the
 // simulator transport; real transports ignore it (their costs are real).

@@ -201,6 +201,24 @@ func (s Shared[T]) Prefetch(w *Worker, lo, hi int) {
 	w.n.PrefetchRange(s.base+lo*es, (hi-lo)*es)
 }
 
+// Window names the byte range behind [lo, hi) without touching it: the
+// unit of a multi-range prefetch hint. A stencil phase that is about to
+// read boundary rows of several different grids passes one Window per
+// row to Worker.Prefetch, and all their pages batch into a single
+// planned Multicall — where per-array Prefetch hints would issue one
+// batch (or, for a single-page row, no batch at all) per array.
+func (s Shared[T]) Window(lo, hi int) Window {
+	s.checkRange(lo, hi)
+	es := mem.ElemSize[T]()
+	return Window{addr: s.base + lo*es, size: (hi - lo) * es}
+}
+
+// Window is a prefetchable byte range of some shared array; build one
+// with Shared.Window and hand any number of them to Worker.Prefetch.
+type Window struct {
+	addr, size int
+}
+
 // Span runs fn over the window [lo, hi) with the protocol work done once
 // per page: the page's fault (per mode), the write bookkeeping and the
 // detector note are resolved up front, and fn then operates on the page

@@ -31,7 +31,7 @@ var transportNames = []struct {
 	name, desc string
 }{
 	SimTransport: {"sim", "deterministic discrete-event simulator (virtual time, the paper's cost model)"},
-	TCPTransport: {"tcp", "real TCP runtime: gob frames over net.Conn, in-process mesh or multi-process peers"},
+	TCPTransport: {"tcp", "real TCP runtime: binary frames over net.Conn (gob escape for cold messages), in-process mesh or multi-process peers"},
 }
 
 func (t Transport) String() string {
@@ -101,6 +101,11 @@ type TCPConfig struct {
 	// Peers exchange it in the mesh handshake and refuse to connect on
 	// a mismatch; empty fingerprints always match.
 	Fingerprint string
+	// ForceGob carries every message in the gob escape frame instead of
+	// its binary codec — the debugging/CI knob (dsmrun -wire gob) that
+	// exercises the fallback path end to end. Results are identical
+	// either way; only the framing cost changes.
+	ForceGob bool
 }
 
 // RunFingerprint builds the canonical configuration fingerprint the CLIs
@@ -131,6 +136,7 @@ func (cfg Config) runtimeFactory() core.RuntimeFactory {
 			Timescale:   tc.Timescale,
 			DialTimeout: tc.DialTimeout,
 			Fingerprint: tc.Fingerprint,
+			ForceGob:    tc.ForceGob,
 		})
 		if err != nil {
 			panic(transportError{fmt.Errorf("adsm: tcp transport: %w", err)})

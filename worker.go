@@ -39,6 +39,27 @@ func (w *Worker) Unlock(id int) { w.n.Release(id) }
 // Barrier waits for all processors and makes all prior writes visible.
 func (w *Worker) Barrier() { w.n.Barrier() }
 
+// Prefetch declares that the given windows — typically of several
+// different shared arrays — are about to be read, batching all of their
+// invalid pages into one planned Multicall (the multi-range form of
+// Shared.Prefetch). Like the single-range hint it never changes what the
+// program computes: with span prefetch off, or when there is nothing
+// profitable to batch, it is a no-op and the faults fire on access
+// exactly as without it.
+func (w *Worker) Prefetch(wins ...Window) {
+	rs := make([]core.Range, 0, len(wins))
+	for _, win := range wins {
+		if win.size == 0 {
+			continue
+		}
+		rs = append(rs, core.Range{Addr: win.addr, Size: win.size})
+	}
+	if len(rs) == 0 {
+		return
+	}
+	w.n.PrefetchRanges(rs)
+}
+
 // ReadU32 reads the 32-bit word at addr.
 func (w *Worker) ReadU32(addr Addr) uint32 { return w.n.ReadU32(addr) }
 
