@@ -1,0 +1,161 @@
+package adsm_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"adsm"
+	"adsm/internal/apps"
+)
+
+// runFrozen runs an app under the adaptive meta-protocol pinned to one
+// static protocol via Config.AdaptiveFreeze.
+func runFrozen(name string, procs int, pin adsm.Protocol) (apps.App, *adsm.Report, error) {
+	app, err := apps.New(name, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := adsm.NewCluster(adsm.Config{
+		Procs:          procs,
+		Protocol:       adsm.Adaptive,
+		AdaptiveFreeze: pin.String(),
+	})
+	app.Setup(cl)
+	rep, err := cl.Run(app.Body)
+	return app, rep, err
+}
+
+// TestAdaptiveFrozenEquivalence pins the adaptive meta-protocol to each
+// static protocol and checks the run is indistinguishable from the static
+// protocol proper: same simulated elapsed time, same full Stats block
+// (message counts, byte counts, fault counts — everything), same result.
+// This is the regression pin for the delegation seam: the meta-protocol
+// must add zero behavior beyond the switch decisions themselves.
+func TestAdaptiveFrozenEquivalence(t *testing.T) {
+	for _, name := range []string{"SOR", "IS"} {
+		for _, proto := range adsm.Protocols() {
+			if proto == adsm.Adaptive {
+				continue
+			}
+			proto := proto
+			t.Run(name+"/"+proto.String(), func(t *testing.T) {
+				appS, repS, err := runApp(name, 4, proto)
+				if err != nil {
+					t.Fatalf("static %v: %v", proto, err)
+				}
+				appF, repF, err := runFrozen(name, 4, proto)
+				if err != nil {
+					t.Fatalf("frozen %v: %v", proto, err)
+				}
+				if repS.Elapsed != repF.Elapsed {
+					t.Errorf("elapsed: static %v, frozen %v", repS.Elapsed, repF.Elapsed)
+				}
+				if !reflect.DeepEqual(repS.Stats, repF.Stats) {
+					t.Errorf("stats diverge:\nstatic %+v\nfrozen %+v", repS.Stats, repF.Stats)
+				}
+				if appS.Result() != appF.Result() {
+					t.Errorf("result: static %v, frozen %v", appS.Result(), appF.Result())
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveTCPConcurrency hammers the per-page policy seam under the
+// real TCP transport, where handler goroutines serving remote faults read
+// page protocol bindings concurrently with the application goroutines
+// applying barrier-epoch policy switches. The program is built to force
+// switches in both directions — a contended page is first bulk-rewritten
+// by node 0 alone (promotion to the single-writer protocol), then written
+// by everyone (demotion back) — while each node's private page is read by
+// a neighbour every epoch, keeping remote page-serving handlers busy as
+// the switches land. Run under -race this is the data-race check for the
+// per-page delegation refactor; without -race it still pins correctness
+// and that both switch directions fire over TCP.
+func TestAdaptiveTCPConcurrency(t *testing.T) {
+	const procs, epochs = 4, 8
+	cl := adsm.NewCluster(adsm.Config{
+		Procs:     procs,
+		Protocol:  adsm.Adaptive,
+		Transport: adsm.TCPTransport,
+	})
+	base := cl.AllocPageAligned((procs + 1) * adsm.PageSize)
+	hot := base + procs*adsm.PageSize
+	rep, err := cl.Run(func(w *adsm.Worker) {
+		id := w.ID()
+		own := base + id*adsm.PageSize
+		for epoch := 0; epoch < epochs; epoch++ {
+			for off := 0; off < adsm.PageSize; off += 64 {
+				w.WriteU64(own+off, uint64(epoch*100+id+1))
+			}
+			if epoch < epochs/2 {
+				if id == 0 {
+					for off := 0; off < adsm.PageSize; off += 64 {
+						w.WriteU64(hot+off, uint64(epoch+1))
+					}
+				}
+			} else {
+				w.WriteU64(hot+64*id, uint64(epoch*10+id+1))
+			}
+			w.Barrier()
+			next := base + ((id+1)%procs)*adsm.PageSize
+			var sum uint64
+			for off := 0; off < adsm.PageSize; off += 64 {
+				sum += w.ReadU64(next + off)
+			}
+			if want := uint64(64) * uint64(epoch*100+(id+1)%procs+1); sum != want {
+				t.Errorf("node %d epoch %d: neighbour sum %d, want %d", id, epoch, sum, want)
+			}
+			w.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.SwitchToSW == 0 || rep.Stats.SwitchToMW == 0 {
+		t.Errorf("expected switches both ways over TCP: toSW=%d toMW=%d (total %d)",
+			rep.Stats.SwitchToSW, rep.Stats.SwitchToMW, rep.Stats.PolicySwitches)
+	}
+}
+
+// TestAdaptiveSwitches checks the unfrozen meta-protocol actually moves
+// pages in the directions the workloads call for, and stays correct while
+// doing so. SOR's interior pages are single-writer after the first epochs,
+// so the detector must promote pages to the single-writer protocol; IS's
+// shared bucket array is bulk migratory with all processors writing, which
+// is the home-based protocol's territory.
+func TestAdaptiveSwitches(t *testing.T) {
+	cases := []struct {
+		app  string
+		want func(s adsm.Stats) (int64, string)
+	}{
+		{"SOR", func(s adsm.Stats) (int64, string) { return s.SwitchToSW, "SwitchToSW" }},
+		{"IS", func(s adsm.Stats) (int64, string) { return s.SwitchToHLRC, "SwitchToHLRC" }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			seqApp, _, err := runApp(tc.app, 1, adsm.Adaptive)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			seq := seqApp.Result()
+			app, rep, err := runApp(tc.app, 8, adsm.Adaptive)
+			if err != nil {
+				t.Fatalf("adaptive: %v", err)
+			}
+			if got := app.Result(); math.Abs(got-seq) > math.Abs(seq)*1e-9 {
+				t.Errorf("result %v != sequential %v", got, seq)
+			}
+			if rep.Stats.PolicySwitches == 0 {
+				t.Errorf("no policy switches recorded")
+			}
+			if n, label := tc.want(rep.Stats); n == 0 {
+				t.Errorf("%s = 0 (switches: total=%d toSW=%d toMW=%d toHLRC=%d)",
+					label, rep.Stats.PolicySwitches, rep.Stats.SwitchToSW,
+					rep.Stats.SwitchToMW, rep.Stats.SwitchToHLRC)
+			}
+		})
+	}
+}

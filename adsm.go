@@ -74,6 +74,21 @@ var HLRC = MustRegisterProtocol(ProtocolSpec{
 	New:         core.NewHLRCPolicy,
 })
 
+// Adaptive is the per-page adaptive meta-protocol: every page starts under
+// WFS, and at each barrier the manager watches the page's write notices
+// and the sharing detector, migrating individual pages to MW (sustained
+// concurrent writing), to HLRC (falsely shared with a settled home), or
+// back to WFS (a single writer re-emerges). Switch decisions are broadcast
+// on the barrier release so all nodes flip a page at the same epoch.
+// Config.AdaptiveFreeze pins it to one static protocol for equivalence
+// testing.
+var Adaptive = MustRegisterProtocol(ProtocolSpec{
+	Name:        "adaptive",
+	Aliases:     []string{"adapt", "meta"},
+	Description: "meta-protocol: pages migrate between WFS, MW and HLRC at barrier epochs",
+	New:         core.NewAdaptivePolicy,
+})
+
 // HomePolicy selects how pages are assigned to home nodes for the
 // home-based protocols (SW request routing, HLRC diff flushing). Values
 // are ids into the home-policy registry; the built-in constants are
@@ -273,6 +288,13 @@ type Config struct {
 	// collapses the sequential round-trip stalls. PerWordSpans implies
 	// off (the per-word degrade path has no spans to plan).
 	SpanPrefetch PrefetchMode
+	// AdaptiveFreeze pins the Adaptive meta-protocol to one static
+	// protocol by name (e.g. "MW"): every page initializes under that
+	// protocol and the manager never issues switches, making a frozen
+	// adaptive run byte-for-byte identical to the static protocol — the
+	// equivalence pin the adaptive tests rely on. Empty adapts freely;
+	// ignored by the static protocols.
+	AdaptiveFreeze string
 	// Transport selects the substrate carrying the protocol messages
 	// (default SimTransport, the deterministic simulator).
 	Transport Transport
@@ -328,6 +350,7 @@ func NewCluster(cfg Config) *Cluster {
 		p.OwnershipQuantum = sim.Time(cfg.OwnershipQuantum)
 	}
 	p.PerWordSpans = cfg.PerWordSpans
+	p.AdaptiveFreeze = cfg.AdaptiveFreeze
 	p.SpanPrefetch = cfg.SpanPrefetch == PrefetchOn
 	p.Runtime = cfg.runtimeFactory()
 	cl := &Cluster{c: core.New(p), cfg: cfg}
@@ -370,6 +393,14 @@ func (cl *Cluster) AllocPageAligned(n int) Addr {
 // for the locally hosted nodes — node 0 is the one whose body computes
 // application checksums).
 func (cl *Cluster) Hosts(id int) bool { return cl.c.Hosts(id) }
+
+// ErrGCUnsupported is returned (wrapped) by Run when barrier-time garbage
+// collection triggers on a multi-process transport: the hint scan needs
+// every node's page state in one address space. Match with errors.Is and
+// retry with HLRC or a larger DiffSpaceLimit. Only the process hosting
+// node 0 (the barrier manager) observes this error; its peers see the
+// mesh tear down.
+var ErrGCUnsupported = core.ErrGCUnsupported
 
 // Run executes program on every processor and returns the report. A
 // cluster can run only once.
@@ -418,6 +449,10 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			Barriers:          tot.Barriers,
 			SWtoMW:            tot.SWtoMW,
 			MWtoSW:            tot.MWtoSW,
+			PolicySwitches:    tot.PolicySwitches,
+			SwitchToSW:        tot.SwitchToSW,
+			SwitchToMW:        tot.SwitchToMW,
+			SwitchToHLRC:      tot.SwitchToHLRC,
 			GCRuns:            cl.c.GCRuns(),
 			HomeFlushes:       tot.HomeFlushes,
 			HomeFlushBytes:    tot.HomeFlushBytes,
@@ -474,6 +509,10 @@ type Stats struct {
 	Barriers          int64
 	SWtoMW            int64 // page-mode transitions (adaptive protocols)
 	MWtoSW            int64
+	PolicySwitches    int64 // per-page protocol switches (Adaptive meta-protocol)
+	SwitchToSW        int64 // pages switched to the single-writer (WFS) protocol
+	SwitchToMW        int64 // pages switched to the multiple-writer protocol
+	SwitchToHLRC      int64 // pages switched to home-based LRC
 	GCRuns            int64
 	HomeFlushes       int64 // HLRC flush messages sent to remote homes
 	HomeFlushBytes    int64 // payload bytes of those flushes

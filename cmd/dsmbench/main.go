@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|span|prefetch|json]
+//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|span|prefetch|adapt|json]
 //	         [-quick] [-procs N] [-protocols MW,HLRC] [-home static]
 //	         [-out FILE] [-fig3csv]
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, span, prefetch, json")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, span, prefetch, adapt, json")
 	quick := flag.Bool("quick", false, "use reduced inputs (fast, for smoke testing)")
 	procs := flag.Int("procs", 8, "number of processors (the paper used 8)")
 	protocols := flag.String("protocols", "",
@@ -97,6 +97,8 @@ func main() {
 		run(m.SpanSweep)
 	case "prefetch":
 		run(m.PrefetchSweep)
+	case "adapt":
+		run(m.AdaptSweep)
 	case "json":
 		data, err := m.JSON()
 		if err != nil {

@@ -1,10 +1,21 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"adsm/internal/transport"
 )
+
+// ErrGCUnsupported reports that barrier-time garbage collection was
+// triggered on a multi-process transport. The hint scan reads every node's
+// page state, which only exists in a single-process deployment (sim or
+// in-process tcp); a distributed hint exchange is a ROADMAP follow-on.
+// The manager raises it through the transport's panic-recovery path, so it
+// surfaces as a Run error (match with errors.Is) on the process hosting
+// node 0.
+var ErrGCUnsupported = errors.New(
+	"dsm: garbage collection is not supported on a multi-process transport (use HLRC or raise DiffSpaceLimit)")
 
 // Barriers: centralized at node 0 (the manager). Arrivals carry each
 // node's new intervals; releases carry the intervals each waiter lacks.
@@ -50,10 +61,39 @@ func (n *Node) barrierRound(gcRound bool) {
 	n.ingestIntervals(resp.Intervals)
 	n.vclock.Join(resp.Global)
 	copy(n.lastGlobal, resp.Global)
+	// The adaptive meta-protocol's switch decisions apply here — after the
+	// release's knowledge is merged, before the per-protocol release hooks —
+	// so every node flips a page at the same epoch.
+	if len(resp.Switches) > 0 {
+		n.applyPolicySwitches(resp.Switches)
+	}
 	// Mechanism 3 of Section 3.1.2 lives in the adaptive policies.
-	n.c.policy.OnBarrierRelease(n)
+	n.dispatchBarrierRelease()
 	if resp.GC {
 		n.runGC(resp.Hints)
+	}
+}
+
+// dispatchBarrierRelease invokes the release-time hook of every policy that
+// currently governs at least one page, once each, telling it which protocol
+// it is being called for so its scans stay within its own pages.
+func (n *Node) dispatchBarrierRelease() {
+	used := n.c.usedPages()
+	var seen []Protocol
+	for pg := 0; pg < used; pg++ {
+		ps := n.pages[pg]
+		dup := false
+		for _, p := range seen {
+			if p == ps.proto {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, ps.proto)
+		ps.policy.OnBarrierRelease(n, ps.proto)
 	}
 }
 
@@ -86,6 +126,12 @@ func (n *Node) serveBarrier(c transport.Call, from int, m barArrive) {
 	// The manager accumulates everyone's intervals (it is also a worker;
 	// handler-time ingest is the SIGIO model).
 	n.ingestIntervals(m.Intervals)
+	if ad := n.c.adapt; ad != nil && !ad.frozen {
+		// The meta-protocol's decision state feeds on the same piggybacked
+		// intervals (with its own per-processor watermark, since arrivals
+		// relay redundantly).
+		ad.noteArrival(m.Intervals)
+	}
 	b.arrived++
 	b.calls = append(b.calls, c)
 	b.knows = append(b.knows, m.KnownTS)
@@ -101,16 +147,24 @@ func (n *Node) serveBarrier(c transport.Call, from int, m barArrive) {
 	var hints []gcHint
 	if doGC {
 		if n.c.Partial() {
-			// The hint scan reads every node's page state, which only
-			// exists in a single-process deployment (sim or in-process
-			// tcp). Multi-process runs must use a protocol that never
-			// collects (HLRC) or a DiffSpaceLimit large enough not to
-			// trigger; a distributed hint exchange is a ROADMAP follow-on.
-			panic("dsm: garbage collection is not supported on a multi-process transport " +
-				"(use HLRC or raise DiffSpaceLimit)")
+			// Multi-process runs must use a protocol that never collects
+			// (HLRC) or a DiffSpaceLimit large enough not to trigger.
+			// Panicking with the typed error lets the transport's handler
+			// recovery turn it into a clean Run error.
+			panic(ErrGCUnsupported)
 		}
 		hints = n.c.computeGCHints()
 		n.c.gcRuns++
+	}
+	// Adaptive switch decisions never ride a GC-triggering release: the
+	// hints were computed under the current protocol assignment and the
+	// collection must reorganize copies under it. The post-GC mini-barrier
+	// is fine — collection has finished and pages are in their leanest
+	// state — which matters for programs whose diff pressure makes most
+	// releases GC-triggering.
+	var switches []policySwitch
+	if ad := n.c.adapt; ad != nil && !ad.frozen && !doGC {
+		switches = n.c.adaptDecide()
 	}
 	global := append([]int32(nil), n.knownTS...)
 	calls, knows := b.calls, b.knows
@@ -123,6 +177,7 @@ func (n *Node) serveBarrier(c transport.Call, from int, m barArrive) {
 			Global:    global,
 			GC:        doGC,
 			Hints:     hints,
+			Switches:  switches,
 			nprocs:    n.c.params.Procs,
 		})
 	}

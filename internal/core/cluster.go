@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"adsm/internal/mem"
 	"adsm/internal/stats"
@@ -29,7 +30,16 @@ type Cluster struct {
 	locks map[int]*mgrLock
 	bar   barrierMgr
 
+	// Per-page policy delegation: one shared instance per protocol a page
+	// has been switched to (policies are stateless; pages hold pointers
+	// into this cache so identity comparisons are meaningful per cluster).
+	polMu    sync.Mutex
+	policies map[Protocol]Policy
+
 	detector *Detector
+
+	// Adaptive meta-protocol decision state (nil under static protocols).
+	adapt *adaptState
 
 	// Figure 3 instrumentation: total live diffs across all nodes.
 	totalLiveDiffs int64
@@ -109,6 +119,27 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Detector returns the sharing-characteristics instrumentation.
 func (c *Cluster) Detector() *Detector { return c.detector }
+
+// policyFor returns the cluster's shared policy instance for a protocol
+// id, building it on first use. Pages compare protocols by ps.proto (the
+// id), never by interface identity; the cache only keeps instance count at
+// one per protocol. Safe from handler goroutines (real transports).
+func (c *Cluster) policyFor(id Protocol) Policy {
+	if id == c.params.Protocol {
+		return c.policy
+	}
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	if p, ok := c.policies[id]; ok {
+		return p
+	}
+	if c.policies == nil {
+		c.policies = make(map[Protocol]Policy)
+	}
+	p := id.newPolicy()
+	c.policies[id] = p
+	return p
+}
 
 // GCRuns reports how many garbage collections ran.
 func (c *Cluster) GCRuns() int64 { return c.gcRuns }

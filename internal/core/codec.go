@@ -160,6 +160,7 @@ type wireBarRelease struct {
 	Global    []int32
 	GC        bool
 	Hints     []gcHint
+	Switches  []policySwitch
 	NProcs    int
 }
 
@@ -294,12 +295,12 @@ func init() {
 		Encode: func(m transport.Msg) any {
 			r := m.(barRelease)
 			return wireBarRelease{Intervals: toWireIntervals(r.Intervals), Global: r.Global,
-				GC: r.GC, Hints: r.Hints, NProcs: r.nprocs}
+				GC: r.GC, Hints: r.Hints, Switches: r.Switches, NProcs: r.nprocs}
 		},
 		Decode: func(v any) transport.Msg {
 			w := v.(wireBarRelease)
 			return barRelease{Intervals: fromWireIntervals(w.Intervals), Global: w.Global,
-				GC: w.GC, Hints: w.Hints, nprocs: w.NProcs}
+				GC: w.GC, Hints: w.Hints, Switches: w.Switches, nprocs: w.NProcs}
 		},
 	})
 }

@@ -92,9 +92,14 @@ func msgSamples() map[string][]transport.Msg {
 		"acqGrant":     {acqGrant{Intervals: sampleIntervals(), VC: sampleVC(), nprocs: nprocs}},
 		"barArrive": {barArrive{Epoch: 12, KnownTS: []int32{3, 1, 4, 1, 5, 9, 2, 6},
 			Intervals: sampleIntervals(), MemPressure: true, nprocs: nprocs}},
-		"barRelease": {barRelease{Intervals: sampleIntervals(), Global: []int32{3, 1, 4, 1, 5, 9, 2, 6},
-			GC: true, Hints: []gcHint{{Page: 1, Owner: 2, Version: 3}, {Page: 9, Owner: 0, Version: 1}},
-			nprocs: nprocs}},
+		"barRelease": {
+			barRelease{Intervals: sampleIntervals(), Global: []int32{3, 1, 4, 1, 5, 9, 2, 6},
+				GC: true, Hints: []gcHint{{Page: 1, Owner: 2, Version: 3}, {Page: 9, Owner: 0, Version: 1}},
+				nprocs: nprocs},
+			barRelease{Global: []int32{3, 1, 4, 1, 5, 9, 2, 6},
+				Switches: []policySwitch{{Page: 2, Proto: 0, Owner: 1, Version: 4}, {Page: 6, Proto: 4, Owner: 0, Version: 0}},
+				nprocs:   nprocs},
+		},
 	}
 }
 

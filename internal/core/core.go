@@ -81,6 +81,13 @@ type Params struct {
 	// an interval); only host-side overhead changes. The span experiment
 	// and the span-vs-per-word equivalence tests flip this.
 	PerWordSpans bool
+	// AdaptiveFreeze pins the adaptive meta-protocol to one static protocol
+	// (a registered protocol name, e.g. "MW"): every page initializes under
+	// that protocol and the barrier manager never issues switches, so a
+	// frozen adaptive run is the static protocol, byte for byte — the
+	// equivalence pin the adaptive tests rely on. Empty means adapt freely.
+	// Ignored by the static protocols.
+	AdaptiveFreeze string
 	// SpanPrefetch enables the batched span fetch: AccessRange plans the
 	// coherence work of a whole span first (which pages need a copy from
 	// where, which need diffs from whom) and issues it as one overlapped

@@ -314,6 +314,41 @@ func TestDetectorCharacteristics(t *testing.T) {
 	}
 }
 
+// TestDetectorIncremental: the incrementally maintained aggregates must
+// agree exactly with the full page scan they replaced, across workloads
+// exercising every transition (second accessor, first writer, the
+// false-sharing flip, diff recording) under diff-based and
+// ownership-based protocols.
+func TestDetectorIncremental(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := New(testParams(4, proto))
+			base := c.AllocPageAligned(6 * mem.PageSize)
+			mustRun(t, c, func(n *Node) {
+				for r := 0; r < 3; r++ {
+					// Page n.ID(): private to its writer. Page 4: falsely
+					// shared (concurrent sub-page writes). Page 5: written
+					// by node 0, read by everyone.
+					n.WriteU64(base+n.ID()*mem.PageSize, uint64(r+1))
+					n.WriteU64(base+4*mem.PageSize+16*n.ID(), uint64(r+1))
+					if n.ID() == 0 {
+						n.WriteU64(base+5*mem.PageSize, uint64(r+1))
+					}
+					n.Barrier()
+					_ = n.ReadU64(base + 5*mem.PageSize)
+					n.Barrier()
+				}
+			})
+			d := c.Detector()
+			inc := d.Characteristics(c.usedPages())
+			scan := d.ScanCharacteristics(c.usedPages())
+			if inc != scan {
+				t.Errorf("incremental %+v\n     != scan %+v", inc, scan)
+			}
+		})
+	}
+}
+
 func TestMemoryAccountingSW(t *testing.T) {
 	// The SW protocol uses neither twins nor diffs.
 	c := New(testParams(4, SW))

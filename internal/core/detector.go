@@ -14,9 +14,22 @@ import (
 // it in intervals that are concurrent under happened-before-1. Checking
 // each new write against every processor's most recent write suffices:
 // older writes by the same processor are ordered before its latest one.
+// The Table 2 aggregates are maintained incrementally: each note* call
+// updates the running sums at the state transition it causes (a page
+// gaining its second accessor, its first writer, its false-sharing bit),
+// so Characteristics is O(1) instead of a scan over every page — the
+// adaptive meta-protocol and the sweep harness read it per-run, and the
+// page count grows with the shared segment, not with the working set.
 type Detector struct {
 	nprocs int
 	pages  []detPage
+
+	sharedPages  int   // pages with >= 2 accessors
+	writtenPages int   // pages with any writer
+	fsPages      int   // pages with the false-sharing bit set
+	diffCount    int64 // diffs recorded, all pages
+	diffBytes    int64 // their cumulative size
+	maxDiff      int   // largest single diff
 }
 
 type detPage struct {
@@ -42,8 +55,8 @@ func (d *Detector) noteWrite(wn *WriteNotice) {
 		p.lastWrite = make([]vc.VC, d.nprocs)
 	}
 	proc := wn.Int.Proc
-	p.writers |= 1 << uint(proc)
-	p.accessors |= 1 << uint(proc)
+	d.markWriter(p, proc)
+	d.markAccessor(p, proc)
 	if !p.fs {
 		for q, last := range p.lastWrite {
 			if q == proc || last == nil {
@@ -51,6 +64,7 @@ func (d *Detector) noteWrite(wn *WriteNotice) {
 			}
 			if last.Concurrent(wn.Int.VC) {
 				p.fs = true
+				d.fsPages++
 				break
 			}
 		}
@@ -65,10 +79,29 @@ func (d *Detector) noteWrite(wn *WriteNotice) {
 // noteAccess records that a processor touched a page.
 func (d *Detector) noteAccess(pg, proc int, write bool) {
 	p := &d.pages[pg]
-	p.accessors |= 1 << uint(proc)
+	d.markAccessor(p, proc)
 	if write {
-		p.writers |= 1 << uint(proc)
+		d.markWriter(p, proc)
 	}
+}
+
+// markAccessor sets proc's accessor bit, bumping the shared-page count
+// when the page gains its second accessor.
+func (d *Detector) markAccessor(p *detPage, proc int) {
+	old := p.accessors
+	p.accessors = old | 1<<uint(proc)
+	if p.accessors != old && old != 0 && old&(old-1) == 0 {
+		d.sharedPages++
+	}
+}
+
+// markWriter sets proc's writer bit, bumping the written-page count when
+// the page gains its first writer.
+func (d *Detector) markWriter(p *detPage, proc int) {
+	if p.writers == 0 {
+		d.writtenPages++
+	}
+	p.writers |= 1 << uint(proc)
 }
 
 // noteDiff records a created diff's size (write granularity).
@@ -78,6 +111,11 @@ func (d *Detector) noteDiff(pg int, diff *mem.Diff) {
 	p.diffBytes += int64(diff.DataBytes())
 	if diff.DataBytes() > p.maxDiff {
 		p.maxDiff = diff.DataBytes()
+	}
+	d.diffCount++
+	d.diffBytes += int64(diff.DataBytes())
+	if diff.DataBytes() > d.maxDiff {
+		d.maxDiff = diff.DataBytes()
 	}
 }
 
@@ -92,14 +130,37 @@ type Characteristics struct {
 	DiffsRecorded int64
 }
 
-// Characteristics computes the Table 2 summary over the first n pages.
+// Characteristics returns the Table 2 summary from the incrementally
+// maintained aggregates — O(1), no page scan. Instrumented pages always
+// lie inside the allocated range, so the npages bound (kept for API
+// stability; callers pass the allocated page count) never excludes a
+// counted page.
 func (d *Detector) Characteristics(npages int) Characteristics {
+	c := Characteristics{
+		SharedPages:   d.sharedPages,
+		WrittenPages:  d.writtenPages,
+		FSPages:       d.fsPages,
+		MaxDiffBytes:  d.maxDiff,
+		DiffsRecorded: d.diffCount,
+	}
+	if c.WrittenPages > 0 {
+		c.FSPercent = 100 * float64(c.FSPages) / float64(c.WrittenPages)
+	}
+	if d.diffCount > 0 {
+		c.AvgDiffBytes = float64(d.diffBytes) / float64(d.diffCount)
+	}
+	return c
+}
+
+// ScanCharacteristics recomputes the Table 2 summary by scanning the
+// first n pages — the original O(npages) path, kept as the verification
+// oracle for the incremental aggregates (see TestDetectorIncremental).
+func (d *Detector) ScanCharacteristics(npages int) Characteristics {
 	var c Characteristics
 	var diffBytes, diffCount int64
 	for i := 0; i < npages && i < len(d.pages); i++ {
 		p := &d.pages[i]
-		shared := popcount(p.accessors) >= 2
-		if shared {
+		if popcount(p.accessors) >= 2 {
 			c.SharedPages++
 		}
 		if p.writers != 0 {

@@ -26,6 +26,16 @@ import (
 func (c *Cluster) computeGCHints() []gcHint {
 	var hints []gcHint
 	for pg := 0; pg < c.usedPages(); pg++ {
+		// Per-page policy: all nodes agree on a page's protocol at barrier
+		// time (switches are barrier-epoch synchronized), so node 0's view
+		// stands for the cluster's.
+		policy := c.nodes[0].pages[pg].policy
+		if !policy.GCEligible() {
+			// HLRC pages hold no twins or lazy diffs: their diffs were
+			// flushed home and retired at interval close, so there is
+			// nothing to collect and the home copy must not be dropped.
+			continue
+		}
 		written := false
 		for _, n := range c.nodes {
 			if n.wroteSinceGC[pg] {
@@ -38,7 +48,7 @@ func (c *Cluster) computeGCHints() []gcHint {
 		}
 		keeper := -1
 		version := int32(0)
-		if c.policy.GCKeeperIsOwner() {
+		if policy.GCKeeperIsOwner() {
 			for _, n := range c.nodes {
 				ps := n.pages[pg]
 				if ps.owner || ps.wasLast {
@@ -72,12 +82,12 @@ func (c *Cluster) computeGCHints() []gcHint {
 // validation (or nothing, for nodes that will drop), a mini-barrier, then
 // the drop phase.
 func (n *Node) runGC(hints []gcHint) {
-	adaptive := n.c.policy.GCCollapseToSW()
-
 	// Phase 1: validation. In MW every writer validates its copy; in the
-	// adaptive protocols only the keeper (last owner) does.
+	// adaptive protocols only the keeper (last owner) does. The collapse
+	// decision is per page now that policies are page-granular.
 	for _, h := range hints {
 		ps := n.pages[h.Page]
+		adaptive := ps.policy.GCCollapseToSW()
 		validator := n.id == h.Owner
 		if !adaptive && n.wroteSinceGC[h.Page] && ps.data != nil {
 			validator = true
@@ -93,6 +103,7 @@ func (n *Node) runGC(hints []gcHint) {
 	// Phase 2: drop.
 	for _, h := range hints {
 		ps := n.pages[h.Page]
+		adaptive := ps.policy.GCCollapseToSW()
 		keep := n.id == h.Owner
 		if !adaptive && n.wroteSinceGC[h.Page] && ps.data != nil {
 			keep = true // all MW writers keep their validated copies

@@ -56,7 +56,12 @@ func (hlrcPolicy) WriteFault(n *Node, pg int, ps *pageState) { n.stayMW(pg, ps) 
 func (hlrcPolicy) MakeValid(n *Node, pg int, ps *pageState) {
 	for round := 0; ; round++ {
 		if round > 1000 {
-			panic(fmt.Sprintf("dsm: node %d cannot settle hlrc page %d", n.id, pg))
+			msg := fmt.Sprintf("dsm: node %d cannot settle hlrc page %d (data=%v status=%d applied=%v home=%d)",
+				n.id, pg, ps.data != nil, ps.status, ps.applied, n.resolveHome(pg))
+			for _, wn := range ps.pending {
+				msg += fmt.Sprintf("\n  pending wn proc=%d ts=%d owner=%v vc=%v", wn.Int.Proc, wn.Int.TS, wn.Owner, wn.Int.VC)
+			}
+			panic(msg)
 		}
 		if debugValidate != nil {
 			debugValidate(n, pg, ps, "enter")
@@ -144,11 +149,13 @@ func (hlrcPolicy) SpanSettle(n *Node, pg int, ps *pageState) {
 // OnIntervalClose eagerly converts the interval's twins into diffs and
 // pushes them to each page's home, then retires them locally. Process
 // context: runs inside the release-class event, before its messages go
-// out, so the happened-before guarantee MakeValid relies on holds.
-func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval) {
+// out, so the happened-before guarantee MakeValid relies on holds. Under
+// mixed per-page policies wns is the subset of iv.WNs on HLRC pages; the
+// other pages' notices are none of this policy's business.
+func (hlrcPolicy) OnIntervalClose(n *Node, iv *Interval, wns []*WriteNotice) {
 	perHome := make(map[int][]hlrcEntry)
 	var flushed []wnKey
-	for _, wn := range iv.WNs {
+	for _, wn := range wns {
 		ps := n.pages[wn.Page]
 		if ps.undiffed != wn {
 			// Every HLRC write notice must be a fresh dirtyMW notice whose
@@ -221,13 +228,22 @@ func (n *Node) serveHLRCFlush(c transport.Call, from int, m hlrcFlush) {
 // wrong here anyway).
 func (hlrcPolicy) MemPressure(n *Node) bool { return false }
 
+// GCEligible: HLRC pages hold no collectable state (diffs retire at flush
+// time) and the home's copy must never be dropped, so the barrier-time GC
+// skips them entirely.
+func (hlrcPolicy) GCEligible() bool { return false }
+
 // OnBarrierRelease truncates coherence metadata. With GC never running,
 // HLRC would otherwise accumulate interval and write-notice history for
 // the whole run (the other protocols reset theirs in runGC). After a
 // barrier release every node's knowledge dominates the global vector, so
 // any future intervalsSince call filters out intervals at or below it —
-// they can be dropped, along with the write notices they back.
-func (hlrcPolicy) OnBarrierRelease(n *Node) {
+// they can be dropped, along with the write notices they back. The
+// interval truncation is safe cluster-wide (intervalsSince never ships
+// sub-global intervals under any protocol), but the per-page write-notice
+// pruning must not touch pages under other protocols: the diff-based
+// merge replays from knownWNs at installPage time.
+func (hlrcPolicy) OnBarrierRelease(n *Node, self Protocol) {
 	for p := range n.intervals {
 		ivs := n.intervals[p]
 		k := 0
@@ -247,6 +263,9 @@ func (hlrcPolicy) OnBarrierRelease(n *Node) {
 	}
 	for pg := 0; pg < n.c.usedPages(); pg++ {
 		ps := n.pages[pg]
+		if ps.proto != self {
+			continue
+		}
 		wns := ps.knownWNs
 		k := 0
 		for _, wn := range wns {

@@ -165,7 +165,7 @@ func TestHLRCBarrierReleaseClearsDroppedTails(t *testing.T) {
 
 	origIvs := n.intervals[1]
 	origWNs := ps.knownWNs
-	hlrcPolicy{}.OnBarrierRelease(n)
+	hlrcPolicy{}.OnBarrierRelease(n, n.c.params.Protocol)
 
 	if len(n.intervals[1]) != 1 || n.intervals[1][0] != iv3 {
 		t.Fatalf("intervals after release = %v, want just TS 3", n.intervals[1])

@@ -127,11 +127,49 @@ func (n *Node) closeInterval() *Interval {
 	// a grant must not piggyback write notices whose diffs have not
 	// reached their homes yet. A grant served during the flush only needs
 	// intervals up to its release snapshot, so withholding iv is correct.
-	n.c.policy.OnIntervalClose(n, iv)
+	// With per-page policies an interval can span pages under different
+	// protocols; each distinct policy gets one call with its pages' subset.
+	n.dispatchIntervalClose(iv)
 	n.vclock[n.id] = ts
 	n.knownTS[n.id] = ts
 	n.intervals[n.id] = append(n.intervals[n.id], iv)
 	return iv
+}
+
+// dispatchIntervalClose routes a freshly closed interval's write notices to
+// the policies governing their pages, one call per distinct policy with the
+// subset of notices it owns. On a single-protocol cluster (the common case)
+// every page shares one policy and the fast path forwards the whole slice.
+func (n *Node) dispatchIntervalClose(iv *Interval) {
+	first := n.pages[iv.WNs[0].Page]
+	uniform := true
+	for _, wn := range iv.WNs[1:] {
+		if n.pages[wn.Page].proto != first.proto {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		first.policy.OnIntervalClose(n, iv, iv.WNs)
+		return
+	}
+	// Mixed-protocol interval: group notices by protocol, preserving the
+	// interval's order within each group, and call each policy once.
+	done := make(map[Protocol]bool, 2)
+	for _, lead := range iv.WNs {
+		proto := n.pages[lead.Page].proto
+		if done[proto] {
+			continue
+		}
+		done[proto] = true
+		var sub []*WriteNotice
+		for _, wn := range iv.WNs {
+			if n.pages[wn.Page].proto == proto {
+				sub = append(sub, wn)
+			}
+		}
+		n.pages[lead.Page].policy.OnIntervalClose(n, iv, sub)
+	}
 }
 
 // intervalsSince collects every interval this node knows with TS newer than
@@ -219,7 +257,7 @@ func (n *Node) noteOwnerWN(ps *pageState, wn *WriteNotice) {
 		ps.perceivedVersion = wn.Version
 	}
 	// Mechanism 2 of Section 3.1.2 lives in the adaptive policies.
-	n.c.policy.OnOwnerNotice(n, ps, wn)
+	ps.policy.OnOwnerNotice(n, ps, wn)
 }
 
 // orderWNs returns the write notices in an order consistent with

@@ -289,12 +289,15 @@ func (m barArrive) Size() int {
 // barRelease releases a waiter with the intervals it lacks and the global
 // knowledge vector. GC instructs all nodes to run garbage collection;
 // Hints carries post-GC page routing (validator/owner per page), charged
-// at 8 bytes per entry.
+// at 8 bytes per entry. Switches carries the adaptive meta-protocol's
+// per-page policy decisions: every node applies them at this release, so
+// a page's protocol flips cluster-wide at the same barrier epoch.
 type barRelease struct {
 	Intervals []*Interval
 	Global    []int32
 	GC        bool
 	Hints     []gcHint
+	Switches  []policySwitch
 	nprocs    int
 }
 
@@ -304,10 +307,24 @@ type gcHint struct {
 	Version int32
 }
 
+// policySwitch reassigns one page to a new protocol. Owner/Version seed the
+// single-writer routing state under the new protocol (the keeper for a
+// switch to an ownership protocol; ignored by MW and HLRC targets).
+type policySwitch struct {
+	Page    int
+	Proto   int32
+	Owner   int
+	Version int32
+}
+
 func (m barRelease) Size() int {
 	n := intervalsLen(m.Intervals) + tsLen(m.Global) + 1 + iLen(len(m.Hints))
 	for _, h := range m.Hints {
 		n += iLen(h.Page) + iLen(h.Owner) + i32Len(h.Version)
+	}
+	n += iLen(len(m.Switches))
+	for _, s := range m.Switches {
+		n += iLen(s.Page) + i32Len(s.Proto) + iLen(s.Owner) + i32Len(s.Version)
 	}
 	return n + iLen(m.nprocs)
 }

@@ -14,6 +14,14 @@ type pageState struct {
 	status pageStatus
 	mode   pageMode // the per-page "state variable" of the adaptive protocols
 
+	// Per-page policy resolution: which protocol governs this page and the
+	// (stateless, shared) policy instance serving it. Seeded from the
+	// cluster protocol in newNode; the adaptive meta-protocol re-points both
+	// at InitPage and at barrier-epoch switches — never mid-interval, so
+	// handler-context readers always see a consistent (proto, policy) pair.
+	proto  Protocol
+	policy Policy
+
 	data    []byte // local copy; nil until first fetch (node 0 starts with all pages)
 	applied vc.VC  // writes reflected in data
 
@@ -133,8 +141,12 @@ func newNode(c *Cluster, id int) *Node {
 	}
 	for i := range n.pages {
 		// Generic fields only; policy.InitPage runs at Run start (after
-		// allocation, when the home policy knows the data layout).
+		// allocation, when the home policy knows the data layout). The
+		// policy binding is set here so pages answer protocol questions
+		// even for frames that arrive before Run (multi-process startup).
 		n.pages[i] = &pageState{
+			proto:          c.params.Protocol,
+			policy:         c.policy,
 			applied:        vc.New(c.params.Procs),
 			perceivedOwner: 0, // pages are allocated (and initially owned) by node 0
 			copysetFS:      nil,
@@ -243,7 +255,7 @@ func (n *Node) writeFault(pg int) {
 		return
 	}
 
-	n.c.policy.WriteFault(n, pg, ps)
+	ps.policy.WriteFault(n, pg, ps)
 }
 
 // makeTwin creates the pristine copy used for diffing; if a previous

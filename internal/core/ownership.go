@@ -86,7 +86,7 @@ func (n *Node) shouldResumeSW(ps *pageState) bool {
 			return false
 		}
 	}
-	return n.c.policy.AllowSWByGranularity(n, ps)
+	return ps.policy.AllowSWByGranularity(n, ps)
 }
 
 // tryOwnership issues an ownership request to the last perceived owner

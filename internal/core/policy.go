@@ -8,6 +8,14 @@ import "adsm/internal/mem"
 // The engine (faults, intervals, locks, barriers, GC) stays protocol-
 // agnostic; the policies reuse its building blocks (stayMW, validate,
 // tryOwnership, ...) in different combinations.
+//
+// Policy resolution is per page, not per cluster: every pageState carries
+// its protocol id and policy instance (ps.proto / ps.policy), seeded from
+// the cluster protocol at InitPage and changed only at barrier epochs (the
+// adaptive meta-protocol). Engine call sites that act on one page resolve
+// the policy through the page; cluster-wide hooks (interval close, barrier
+// release) partition their work by page protocol and call each distinct
+// policy once.
 
 // Policy is the per-protocol strategy consulted at every protocol decision
 // point. Implementations must be safe to use from both process context
@@ -31,8 +39,10 @@ type Policy interface {
 
 	// OnIntervalClose runs in process context immediately after the node
 	// closes an interval (at a release-class event) and before the event's
-	// messages go out. iv is never nil. HLRC uses it to flush diffs home.
-	OnIntervalClose(n *Node, iv *Interval)
+	// messages go out. iv is never nil; wns is the subset of iv.WNs whose
+	// pages this policy governs (== iv.WNs when the interval touched only
+	// one protocol). HLRC uses it to flush diffs home.
+	OnIntervalClose(n *Node, iv *Interval, wns []*WriteNotice)
 
 	// OnOwnerNotice reacts to an ingested owner write notice after the
 	// generic routing state is updated (adaptation mechanism 2 of Section
@@ -41,8 +51,10 @@ type Policy interface {
 
 	// OnBarrierRelease runs after a barrier release is ingested, when the
 	// node is up to date with all modifications (adaptation mechanism 3).
-	// Process context.
-	OnBarrierRelease(n *Node)
+	// It is called once per distinct page protocol on the node; self is the
+	// protocol id the policy is serving, so page scans must restrict
+	// themselves to pages with ps.proto == self. Process context.
+	OnBarrierRelease(n *Node, self Protocol)
 
 	// OnServePage runs before replying to a whole-page fetch from node
 	// `from` (the WFS+WG read-probe hook). Handler context.
@@ -70,6 +82,12 @@ type Policy interface {
 	// GCCollapseToSW makes garbage collection collapse every collected
 	// page back to SW mode under the keeper (the adaptive protocols).
 	GCCollapseToSW() bool
+
+	// GCEligible reports whether pages under this policy participate in
+	// barrier-time garbage collection at all. HLRC answers false: its homes
+	// must keep their copies and it retires diffs eagerly, so the GC drop
+	// phase has nothing to collect and would be wrong.
+	GCEligible() bool
 
 	// PrefetchReadSpans reports whether invalid pages of a read span may
 	// be validated through the batched span fetch (one Multicall for the
@@ -106,18 +124,19 @@ type Policy interface {
 // basePolicy supplies the no-op defaults shared by the concrete policies.
 type basePolicy struct{}
 
-func (basePolicy) OnIntervalClose(n *Node, iv *Interval)                  {}
-func (basePolicy) OnOwnerNotice(n *Node, ps *pageState, wn *WriteNotice)  {}
-func (basePolicy) OnBarrierRelease(n *Node)                               {}
-func (basePolicy) OnServePage(n *Node, from, pg int, ps *pageState)       {}
-func (basePolicy) OnServeDiffs(n *Node, from int, ps *pageState, fs bool) {}
-func (basePolicy) AllowSWByGranularity(n *Node, ps *pageState) bool       { return true }
-func (basePolicy) MemPressure(n *Node) bool                               { return n.memPressure() }
-func (basePolicy) GCKeeperIsOwner() bool                                  { return false }
-func (basePolicy) GCCollapseToSW() bool                                   { return false }
-func (basePolicy) MakeValid(n *Node, pg int, ps *pageState)               { n.lrcMakeValid(pg, ps) }
-func (basePolicy) PrefetchReadSpans() bool                                { return true }
-func (basePolicy) PrefetchWriteSpans() bool                               { return false }
+func (basePolicy) OnIntervalClose(n *Node, iv *Interval, wns []*WriteNotice) {}
+func (basePolicy) OnOwnerNotice(n *Node, ps *pageState, wn *WriteNotice)     {}
+func (basePolicy) OnBarrierRelease(n *Node, self Protocol)                   {}
+func (basePolicy) OnServePage(n *Node, from, pg int, ps *pageState)          {}
+func (basePolicy) OnServeDiffs(n *Node, from int, ps *pageState, fs bool)    {}
+func (basePolicy) AllowSWByGranularity(n *Node, ps *pageState) bool          { return true }
+func (basePolicy) MemPressure(n *Node) bool                                  { return n.memPressure() }
+func (basePolicy) GCKeeperIsOwner() bool                                     { return false }
+func (basePolicy) GCCollapseToSW() bool                                      { return false }
+func (basePolicy) GCEligible() bool                                          { return true }
+func (basePolicy) MakeValid(n *Node, pg int, ps *pageState)                  { n.lrcMakeValid(pg, ps) }
+func (basePolicy) PrefetchReadSpans() bool                                   { return true }
+func (basePolicy) PrefetchWriteSpans() bool                                  { return false }
 func (basePolicy) SpanFetchPlan(n *Node, pg int, ps *pageState) (int, []*WriteNotice, bool) {
 	return n.lrcSpanPlan(ps)
 }
@@ -203,9 +222,12 @@ func (p adaptivePolicy) OnOwnerNotice(n *Node, ps *pageState, wn *WriteNotice) {
 // node is up to date with all modifications, so a write notice that
 // dominates all other write notices for a page means write-write false
 // sharing has stopped and the page can return to SW mode.
-func (p adaptivePolicy) OnBarrierRelease(n *Node) {
+func (p adaptivePolicy) OnBarrierRelease(n *Node, self Protocol) {
 	for pg := 0; pg < n.c.usedPages(); pg++ {
 		ps := n.pages[pg]
+		if ps.proto != self {
+			continue
+		}
 		if ps.mode != modeMW || ps.owner || ps.wasLast || len(ps.pending) == 0 {
 			continue
 		}

@@ -112,25 +112,27 @@ func (n *Node) spanPrefetch(addr, size int, read bool) {
 // where the protocol's write fault validates without an ownership grant.
 // Process context.
 func (n *Node) prefetchPages(pages []int, read bool) {
-	if read {
-		if !n.c.policy.PrefetchReadSpans() {
-			return
-		}
-	} else if !n.c.policy.PrefetchWriteSpans() {
-		return
-	}
-
 	var plans []spanPlan
 	declined := 0
 	rounds := 0 // blocking rounds the serial path would take for this work
 	for _, pg := range pages {
 		ps := n.pages[pg]
+		// Batching eligibility is per page now that policies are: a page
+		// whose protocol does not batch this direction keeps the serial
+		// fault path (not a fallback — the page was never planned).
+		if read {
+			if !ps.policy.PrefetchReadSpans() {
+				continue
+			}
+		} else if !ps.policy.PrefetchWriteSpans() {
+			continue
+		}
 		if ps.status != pageInvalid || ps.owner {
 			// Owned-but-invalid pages (a GC collapse) take the owner
 			// fast path of writeFault; valid pages need nothing.
 			continue
 		}
-		target, diffs, ok := n.c.policy.SpanFetchPlan(n, pg, ps)
+		target, diffs, ok := ps.policy.SpanFetchPlan(n, pg, ps)
 		if !ok {
 			// The per-page loop services this page serially.
 			declined++
@@ -252,7 +254,7 @@ func (n *Node) prefetchPages(pages []int, read bool) {
 			n.installPage(pl.pg, pl.ps, pc.Data, pc.Applied.Copy())
 		}
 		n.Stats.PrefetchPages++
-		n.c.policy.SpanSettle(n, pl.pg, pl.ps)
+		pl.ps.policy.SpanSettle(n, pl.pg, pl.ps)
 	}
 }
 
@@ -350,7 +352,7 @@ func (n *Node) serveSpanFetch(c transport.Call, from int, m spanFetchReq) {
 	}
 	for _, dw := range m.Diffs {
 		ps := n.pages[dw.Page]
-		n.c.policy.OnServeDiffs(n, from, ps, dw.SeesFS)
+		ps.policy.OnServeDiffs(n, from, ps, dw.SeesFS)
 		b := spanDiffBundle{Page: dw.Page}
 		for _, k := range dw.Wants {
 			d, dc := n.serveDiffKey(dw.Page, ps, k)

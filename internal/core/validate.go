@@ -39,7 +39,8 @@ var debugValidate func(n *Node, pg int, ps *pageState, stage string)
 // the LRC protocols run the merge procedure below, HLRC fetches the home
 // copy. Runs in process context.
 func (n *Node) validate(pg int) {
-	n.c.policy.MakeValid(n, pg, n.pages[pg])
+	ps := n.pages[pg]
+	ps.policy.MakeValid(n, pg, ps)
 }
 
 // lrcMakeValid is the MakeValid of the diff-based LRC protocols (MW, SW,
@@ -269,7 +270,7 @@ func (n *Node) applyDiffs(pg int, ps *pageState, wns []*WriteNotice) {
 // serial pageReq handler and the batched span-fetch handler so the two
 // paths cannot drift. Handler context.
 func (n *Node) snapshotPage(from, pg int, ps *pageState) ([]byte, vc.VC) {
-	n.c.policy.OnServePage(n, from, pg, ps)
+	ps.policy.OnServePage(n, from, pg, ps)
 	snap := make([]byte, len(ps.data))
 	copy(snap, ps.data)
 	return snap, ps.applied.Copy()
@@ -330,7 +331,7 @@ func (n *Node) queueOwnershipDrop(pg int, ps *pageState) {
 // the copyset (adaptive mechanism 1).
 func (n *Node) serveDiffs(c transport.Call, from int, m diffReq) {
 	ps := n.pages[m.Page]
-	n.c.policy.OnServeDiffs(n, from, ps, m.SeesFS)
+	ps.policy.OnServeDiffs(n, from, ps, m.SeesFS)
 	var cost transport.Time
 	resp := diffResp{}
 	for _, k := range m.Wants {

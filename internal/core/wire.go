@@ -515,6 +515,13 @@ func barReleaseAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte,
 		b = putI(b, h.Owner)
 		b = putI32(b, h.Version)
 	}
+	b = putI(b, len(r.Switches))
+	for _, s := range r.Switches {
+		b = putI(b, s.Page)
+		b = putI32(b, s.Proto)
+		b = putI(b, s.Owner)
+		b = putI32(b, s.Version)
+	}
 	b = putI(b, r.nprocs)
 	return b, payloads
 }
@@ -530,6 +537,13 @@ func barReleaseDecodeWire(body []byte) (transport.Msg, error) {
 		m.Hints = make([]gcHint, nh)
 		for i := range m.Hints {
 			m.Hints[i] = gcHint{Page: r.Int(), Owner: r.Int(), Version: r.I32()}
+		}
+	}
+	ns := r.Count(4)
+	if ns > 0 {
+		m.Switches = make([]policySwitch, ns)
+		for i := range m.Switches {
+			m.Switches[i] = policySwitch{Page: r.Int(), Proto: r.I32(), Owner: r.Int(), Version: r.I32()}
 		}
 	}
 	m.nprocs = r.Int()

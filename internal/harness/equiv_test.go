@@ -57,9 +57,12 @@ func TestTransportEquivalenceForcedGob(t *testing.T) {
 // TestTransportEquivalenceChecksumOnly covers the timing-dependent
 // protocols (ownership decisions depend on arrival timing, so message
 // counts legitimately differ): the data each transport computes must
-// still agree exactly.
+// still agree exactly. The adaptive meta-protocol belongs here too — its
+// switch decisions read the detector's diff statistics, and diff creation
+// under MW is demand-driven, so which diffs exist at decision time can
+// differ across transports.
 func TestTransportEquivalenceChecksumOnly(t *testing.T) {
-	checks, err := TransportEquivalence(4, []adsm.Protocol{adsm.SW, adsm.WFS, adsm.WFSWG})
+	checks, err := TransportEquivalence(4, []adsm.Protocol{adsm.SW, adsm.WFS, adsm.WFSWG, adsm.Adaptive})
 	if err != nil {
 		t.Fatal(err)
 	}

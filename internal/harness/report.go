@@ -28,6 +28,14 @@ type BenchCell struct {
 	BatchedFetches  int64 `json:"batched_fetches"`
 	PrefetchPages   int64 `json:"prefetch_pages"`
 	SerialFallbacks int64 `json:"serial_fallbacks"`
+
+	// Per-page protocol switch counters (nonzero only under the adaptive
+	// meta-protocol; omitted for static cells to keep old reports
+	// byte-compatible).
+	PolicySwitches int64 `json:"policy_switches,omitempty"`
+	SwitchToSW     int64 `json:"switch_to_sw,omitempty"`
+	SwitchToMW     int64 `json:"switch_to_mw,omitempty"`
+	SwitchToHLRC   int64 `json:"switch_to_hlrc,omitempty"`
 }
 
 // BenchSeq is one application's sequential baseline.
@@ -116,6 +124,10 @@ func (m *Matrix) BenchReport() BenchReport {
 				BatchedFetches:  rep.Stats.BatchedFetches,
 				PrefetchPages:   rep.Stats.PrefetchPages,
 				SerialFallbacks: rep.Stats.SerialFallbacks,
+				PolicySwitches:  rep.Stats.PolicySwitches,
+				SwitchToSW:      rep.Stats.SwitchToSW,
+				SwitchToMW:      rep.Stats.SwitchToMW,
+				SwitchToHLRC:    rep.Stats.SwitchToHLRC,
 			})
 		}
 	}

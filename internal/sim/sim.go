@@ -137,7 +137,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				e.Fail(fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack()))
+				e.Fail(panicErr(fmt.Sprintf("sim: proc %q panicked", p.name), r))
 			}
 			p.done = true
 			e.live--
@@ -226,10 +226,21 @@ func (e *Engine) Run() error {
 func (e *Engine) runEvent(fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.Fail(fmt.Errorf("sim: event panicked: %v\n%s", r, debug.Stack()))
+			e.Fail(panicErr("sim: event panicked", r))
 		}
 	}()
 	fn()
+}
+
+// panicErr converts a recovered panic value into a Run error. A panic
+// that is itself an error (a protocol raising a typed condition, e.g.
+// core.ErrGCUnsupported) is wrapped so errors.Is still matches it;
+// anything else is an engine bug and keeps its stack trace.
+func panicErr(ctx string, r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("%s: %w", ctx, err)
+	}
+	return fmt.Errorf("%s: %v\n%s", ctx, r, debug.Stack())
 }
 
 func (e *Engine) deadlock() error {

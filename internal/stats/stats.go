@@ -38,6 +38,13 @@ type Node struct {
 	SWtoMW int64
 	MWtoSW int64
 
+	// Adaptive meta-protocol: per-page protocol switches applied on this
+	// node at barrier releases, total and by target protocol family.
+	PolicySwitches int64
+	SwitchToSW     int64 // switched to the single-writer (WFS) protocol
+	SwitchToMW     int64 // switched to the multiple-writer protocol
+	SwitchToHLRC   int64 // switched to home-based LRC
+
 	// Home-based protocols: flush locality (HLRC) and home agreement
 	// traffic (first-touch binding RPCs).
 	HomeFlushes    int64 // hlrcFlush messages sent to remote homes
@@ -81,6 +88,10 @@ func (s *Node) Add(o *Node) {
 	s.Barriers += o.Barriers
 	s.SWtoMW += o.SWtoMW
 	s.MWtoSW += o.MWtoSW
+	s.PolicySwitches += o.PolicySwitches
+	s.SwitchToSW += o.SwitchToSW
+	s.SwitchToMW += o.SwitchToMW
+	s.SwitchToHLRC += o.SwitchToHLRC
 	s.HomeFlushes += o.HomeFlushes
 	s.HomeFlushBytes += o.HomeFlushBytes
 	s.HomeLocalDiffs += o.HomeLocalDiffs

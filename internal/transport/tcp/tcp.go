@@ -697,7 +697,15 @@ func (rt *Runtime) dispatch(f *frame) {
 	defer rt.mu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
-			rt.failLocked(fmt.Errorf("tcp: handler on node %d panicked: %v\n%s", f.To, r, debug.Stack()))
+			// A handler panicking with an error value is a protocol raising
+			// a typed condition (e.g. core.ErrGCUnsupported): wrap it so
+			// errors.Is matches through Run's error. Anything else is a bug
+			// and keeps its stack trace.
+			if err, ok := r.(error); ok {
+				rt.failLocked(fmt.Errorf("tcp: handler on node %d: %w", f.To, err))
+			} else {
+				rt.failLocked(fmt.Errorf("tcp: handler on node %d panicked: %v\n%s", f.To, r, debug.Stack()))
+			}
 		}
 	}()
 	switch f.Op {
@@ -1010,7 +1018,12 @@ func (rt *Runtime) Run() error {
 					// Bodies panic with the state lock held (transport
 					// failures are raised after the call relocks).
 					rt.mu.Unlock()
-					err := fmt.Errorf("tcp: node %d: %v", id, r)
+					var err error
+					if e, ok := r.(error); ok {
+						err = fmt.Errorf("tcp: node %d: %w", id, e)
+					} else {
+						err = fmt.Errorf("tcp: node %d: %v", id, r)
+					}
 					rt.errMu.Lock()
 					rt.bodyErrs = append(rt.bodyErrs, err)
 					rt.errMu.Unlock()
