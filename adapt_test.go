@@ -119,6 +119,72 @@ func TestAdaptiveTCPConcurrency(t *testing.T) {
 	}
 }
 
+// TestOneSidedAdaptiveTCPConcurrency hammers the one-sided region-read
+// path against the barrier-epoch policy switches: every node's private
+// page is read by all three peers each epoch (the first fetch publishes
+// the owner's snapshot, the later ones ride the region lane), while the
+// contended page forces protocol switches in both directions — so region
+// serves, publications, invalidations (on writes, diff applies and the
+// switches themselves) and the switch machinery all race. Under -race
+// this is the data-race check for the region publication protocol;
+// without -race it still pins that one-sided reads actually fire while
+// switches land, and that every value read is exact.
+func TestOneSidedAdaptiveTCPConcurrency(t *testing.T) {
+	const procs, epochs = 4, 8
+	cl := adsm.NewCluster(adsm.Config{
+		Procs:     procs,
+		Protocol:  adsm.Adaptive,
+		Transport: adsm.TCPTransport,
+	})
+	base := cl.AllocPageAligned((procs + 1) * adsm.PageSize)
+	hot := base + procs*adsm.PageSize
+	rep, err := cl.Run(func(w *adsm.Worker) {
+		id := w.ID()
+		own := base + id*adsm.PageSize
+		for epoch := 0; epoch < epochs; epoch++ {
+			for off := 0; off < adsm.PageSize; off += 64 {
+				w.WriteU64(own+off, uint64(epoch*100+id+1))
+			}
+			if epoch < epochs/2 {
+				if id == 0 {
+					for off := 0; off < adsm.PageSize; off += 64 {
+						w.WriteU64(hot+off, uint64(epoch+1))
+					}
+				}
+			} else {
+				w.WriteU64(hot+64*id, uint64(epoch*10+id+1))
+			}
+			w.Barrier()
+			for d := 1; d < procs; d++ {
+				peer := (id + d) % procs
+				page := base + peer*adsm.PageSize
+				var sum uint64
+				for off := 0; off < adsm.PageSize; off += 64 {
+					sum += w.ReadU64(page + off)
+				}
+				if want := uint64(adsm.PageSize/64) * uint64(epoch*100+peer+1); sum != want {
+					t.Errorf("node %d epoch %d: peer %d sum %d, want %d", id, epoch, peer, sum, want)
+				}
+			}
+			w.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.SwitchToSW == 0 || rep.Stats.SwitchToMW == 0 {
+		t.Errorf("expected switches both ways over TCP: toSW=%d toMW=%d (total %d)",
+			rep.Stats.SwitchToSW, rep.Stats.SwitchToMW, rep.Stats.PolicySwitches)
+	}
+	if rep.Stats.OneSidedReads == 0 {
+		t.Errorf("expected one-sided reads with three readers per page per epoch (fallbacks: %d)",
+			rep.Stats.OneSidedFallbacks)
+	}
+	t.Logf("one-sided: %d reads, %d fallbacks; switches: %d toSW, %d toMW",
+		rep.Stats.OneSidedReads, rep.Stats.OneSidedFallbacks,
+		rep.Stats.SwitchToSW, rep.Stats.SwitchToMW)
+}
+
 // TestAdaptiveSwitches checks the unfrozen meta-protocol actually moves
 // pages in the directions the workloads call for, and stays correct while
 // doing so. SOR's interior pages are single-writer after the first epochs,

@@ -461,6 +461,9 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			BatchedFetches:    tot.BatchedFetches,
 			PrefetchPages:     tot.PrefetchPages,
 			SerialFallbacks:   tot.SerialFallbacks,
+			OneSidedReads:     tot.OneSidedReads,
+			OneSidedFallbacks: tot.OneSidedFallbacks,
+			BatchedOwnReqs:    tot.BatchedOwnReqs,
 		},
 		Sharing: Sharing{
 			SharedPages:  ch.SharedPages,
@@ -475,6 +478,9 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 		r.Stats.WireFrames = ws.WireFrames()
 		r.Stats.WireBytes = ws.WireBytes()
 		r.Stats.WireEncodeNS = ws.WireEncodeNanos()
+		r.Stats.LaneBytes = ws.LaneBytes()
+		r.Stats.LaneQueueDepth = ws.LaneQueueDepth()
+		r.Stats.LaneQueueHWM = ws.LaneQueueHWM()
 	}
 	if cl.series != nil {
 		r.DiffTimeline = make([]TimelinePoint, 0, len(cl.series.Points))
@@ -521,6 +527,9 @@ type Stats struct {
 	BatchedFetches    int64 // batched span-fetch rounds (one Multicall each)
 	PrefetchPages     int64 // pages made valid through the batched span path
 	SerialFallbacks   int64 // planned pages that fell back to the serial path
+	OneSidedReads     int64 // page/span fetches served from a peer's region
+	OneSidedFallbacks int64 // region probes that fell back to the handler path
+	BatchedOwnReqs    int64 // ownership requests that rode a grouped grant batch
 
 	// Wire-efficiency counters, populated only by transports that report
 	// real framing costs (the TCP runtime; zero under the simulator).
@@ -529,6 +538,13 @@ type Stats struct {
 	WireFrames   int64 // data-plane frames sent by the hosted nodes
 	WireBytes    int64 // real bytes (frame header + body) on the wire
 	WireEncodeNS int64 // cumulative frame-encode time, nanoseconds
+
+	// Per-lane wire accounting, indexed by lane (0 control, 1 bulk, last
+	// region when one-sided reads are on). Nil under the simulator or a
+	// single-lane mesh where the split is not meaningful.
+	LaneBytes      []int64 // bytes sent per lane by the hosted nodes
+	LaneQueueDepth []int64 // current send-queue depth per lane (frames)
+	LaneQueueHWM   []int64 // send-queue high-water mark per lane (frames)
 }
 
 // Sharing summarizes the measured application characteristics (the

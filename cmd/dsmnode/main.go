@@ -48,6 +48,10 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 20*time.Second, "how long to wait for the peer mesh")
 	wire := flag.String("wire", "binary",
 		"frame encoding: binary (hand-rolled hot-path codecs) or gob (force the escape frames; per-frame, so peers may differ)")
+	lanes := flag.Int("lanes", 2,
+		"data connections per node pair: 1 (single shared) or 2 (control + bulk; must match every peer)")
+	oneSided := flag.Bool("onesided", true,
+		"serve clean page fetches one-sided from the registered region (adds a region lane; must match every peer)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -98,6 +102,8 @@ func main() {
 			DialTimeout: *dialTimeout,
 			Fingerprint: adsm.RunFingerprint(*appName, proto, home, *procs, *quick),
 			ForceGob:    *wire == "gob",
+			Lanes:       *lanes,
+			NoOneSided:  !*oneSided,
 		},
 	}
 	if *wire != "binary" && *wire != "gob" {

@@ -55,6 +55,10 @@ func main() {
 		"batch a span's page fetches into one overlapped Multicall (false: serial per-page faults)")
 	wire := flag.String("wire", "binary",
 		"frame encoding under -transport tcp: binary (hand-rolled hot-path codecs) or gob (force the escape frames)")
+	lanes := flag.Int("lanes", 2,
+		"data connections per node pair under -transport tcp: 1 (single shared) or 2 (control + bulk)")
+	oneSided := flag.Bool("onesided", true,
+		"serve clean page fetches one-sided from the peer's registered region (adds a region lane per pair)")
 	flag.Parse()
 
 	if *list {
@@ -96,6 +100,8 @@ func main() {
 	if tr == adsm.TCPTransport {
 		cfg.TCP.Timescale = *timescale
 		cfg.TCP.Fingerprint = adsm.RunFingerprint(*appName, proto, home, *procs, *quick)
+		cfg.TCP.Lanes = *lanes
+		cfg.TCP.NoOneSided = !*oneSided
 		switch *wire {
 		case "binary":
 		case "gob":
@@ -155,6 +161,19 @@ func main() {
 			s.WireFrames, float64(s.WireBytes)/(1<<20), rep.DataMB(),
 			float64(s.WireEncodeNS)/1e6)
 	}
+	if len(s.LaneBytes) > 1 {
+		names := laneNames(len(s.LaneBytes), *oneSided)
+		var parts []string
+		for i, b := range s.LaneBytes {
+			parts = append(parts, fmt.Sprintf("%s %.2f MB (q %d, hwm %d)",
+				names[i], float64(b)/(1<<20), s.LaneQueueDepth[i], s.LaneQueueHWM[i]))
+		}
+		fmt.Printf("  lanes                %s\n", strings.Join(parts, ", "))
+	}
+	if s.OneSidedReads > 0 || s.OneSidedFallbacks > 0 {
+		fmt.Printf("  one-sided reads      %d served from peer regions, %d fell back to the handler\n",
+			s.OneSidedReads, s.OneSidedFallbacks)
+	}
 	fmt.Printf("  faults               %d read, %d write\n", s.ReadFaults, s.WriteFaults)
 	fmt.Printf("  page fetches         %d\n", s.PageFetches)
 	if s.BatchedFetches > 0 || s.SerialFallbacks > 0 {
@@ -163,6 +182,9 @@ func main() {
 	}
 	fmt.Printf("  ownership            %d requests, %d grants, %d refusals, %d forwards\n",
 		s.OwnershipRequests, s.OwnershipGrants, s.OwnershipRefusals, s.Forwards)
+	if s.BatchedOwnReqs > 0 {
+		fmt.Printf("  grant batching       %d ownership requests rode grouped batches\n", s.BatchedOwnReqs)
+	}
 	fmt.Printf("  twins/diffs          %d twins, %d diffs created (%.2f MB), %d applied\n",
 		s.TwinsCreated, s.DiffsCreated, rep.MemoryMB(), s.DiffsApplied)
 	fmt.Printf("  mode transitions     %d SW->MW, %d MW->SW\n", s.SWtoMW, s.MWtoSW)
@@ -174,4 +196,21 @@ func main() {
 	fmt.Printf("  synchronization      %d lock acquires, %d barriers\n", s.LockAcquires, s.Barriers)
 	fmt.Printf("  sharing (Table 2)    %.1f%% WW falsely shared pages, avg diff %.0f B\n",
 		rep.Sharing.FSPercent, rep.Sharing.AvgDiffBytes)
+}
+
+// laneNames labels the per-lane stat slices: control, bulk, and — when
+// one-sided reads are on — the region lane, which is always last.
+func laneNames(n int, oneSided bool) []string {
+	names := make([]string, n)
+	for i := range names {
+		switch {
+		case i == 0:
+			names[i] = "control"
+		case oneSided && i == n-1:
+			names[i] = "region"
+		default:
+			names[i] = "bulk"
+		}
+	}
+	return names
 }

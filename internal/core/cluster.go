@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"adsm/internal/mem"
 	"adsm/internal/stats"
@@ -37,6 +38,11 @@ type Cluster struct {
 	policies map[Protocol]Policy
 
 	detector *Detector
+
+	// oneSided is the transport's one-sided read facility when the runtime
+	// implements it with a negotiated region lane; nil otherwise (the
+	// simulator, or tcp with -onesided=false).
+	oneSided transport.OneSided
 
 	// Adaptive meta-protocol decision state (nil under static protocols).
 	adapt *adaptState
@@ -211,6 +217,24 @@ func (c *Cluster) Run(body func(n *Node)) (transport.Time, error) {
 			c.policy.InitPage(c, n.id, pg, ps)
 		}
 	}
+	if os, ok := c.rt.(transport.OneSided); ok && os.OneSidedEnabled() {
+		c.oneSided = os
+		for _, i := range c.local {
+			n := c.nodes[i]
+			n.region = make([]atomic.Pointer[regionPub], c.npages)
+			os.RegisterRegion(i, n.serveRegion)
+			// Publish every initial copy (homes, initial owners): until the
+			// page first mutates, these are exactly what the handler would
+			// serve, so even first-epoch fetches can go one-sided.
+			for pg := 0; pg < c.npages; pg++ {
+				if ps := n.pages[pg]; ps.data != nil {
+					snap := make([]byte, len(ps.data))
+					copy(snap, ps.data)
+					n.publishRegion(pg, ps, snap, ps.applied.Copy())
+				}
+			}
+		}
+	}
 	for _, i := range c.local {
 		n := c.nodes[i]
 		c.rt.Spawn(i, fmt.Sprintf("node%d", i), func(p transport.Proc) {
@@ -236,6 +260,8 @@ func (n *Node) handle(call transport.Call, from int, m transport.Msg) {
 		n.serveSpanFetch(call, from, msg)
 	case ownReq:
 		n.serveOwnership(call, from, msg)
+	case ownBatchReq:
+		n.serveOwnBatch(call, from, msg)
 	case swOwnReq:
 		n.serveSWOwn(call, from, msg)
 	case hlrcFlush:

@@ -170,23 +170,30 @@ func init() {
 	// transports. Cold-path messages (hlrcFlush/hlrcAck, homeBind*, acq*)
 	// deliberately keep the gob fallback: they are rare, and they keep the
 	// escape-op frame path exercised by the equivalence tests.
-	self := func(name string, m transport.Msg,
+	self := func(class transport.Class, name string, m transport.Msg,
 		aw func(transport.Msg, []byte, [][]byte) ([]byte, [][]byte),
 		dw func([]byte) (transport.Msg, error)) {
-		transport.MustRegisterCodec(transport.Codec{Name: name, Msg: m, AppendWire: aw, DecodeWire: dw})
+		transport.MustRegisterCodec(transport.Codec{Name: name, Class: class, Msg: m, AppendWire: aw, DecodeWire: dw})
 	}
-	self("pageReq", pageReq{}, pageReqAppendWire, pageReqDecodeWire)
-	self("pageResp", pageResp{}, pageRespAppendWire, pageRespDecodeWire)
-	self("ownReq", ownReq{}, ownReqAppendWire, ownReqDecodeWire)
-	self("ownResp", ownResp{}, ownRespAppendWire, ownRespDecodeWire)
-	self("swOwnReq", swOwnReq{}, swOwnReqAppendWire, swOwnReqDecodeWire)
-	self("swOwnGrant", swOwnGrant{}, swOwnGrantAppendWire, swOwnGrantDecodeWire)
-	self("hlrcFlush", hlrcFlush{}, nil, nil)
-	self("hlrcAck", hlrcAck{}, nil, nil)
-	self("homeBindReq", homeBindReq{}, nil, nil)
-	self("homeBindResp", homeBindResp{}, nil, nil)
-	self("acqReq", acqReq{}, nil, nil)
-	self("acqFwd", acqFwd{}, nil, nil)
+	ctl, bulk, region := transport.ClassControl, transport.ClassBulk, transport.ClassRegion
+	self(ctl, "pageReq", pageReq{}, pageReqAppendWire, pageReqDecodeWire)
+	self(bulk, "pageResp", pageResp{}, pageRespAppendWire, pageRespDecodeWire)
+	self(ctl, "ownReq", ownReq{}, ownReqAppendWire, ownReqDecodeWire)
+	self(ctl, "ownResp", ownResp{}, ownRespAppendWire, ownRespDecodeWire)
+	self(ctl, "ownBatchReq", ownBatchReq{}, ownBatchReqAppendWire, ownBatchReqDecodeWire)
+	self(ctl, "ownBatchResp", ownBatchResp{}, ownBatchRespAppendWire, ownBatchRespDecodeWire)
+	self(ctl, "swOwnReq", swOwnReq{}, swOwnReqAppendWire, swOwnReqDecodeWire)
+	self(ctl, "swOwnGrant", swOwnGrant{}, swOwnGrantAppendWire, swOwnGrantDecodeWire)
+	self(region, "regionReadReq", regionReadReq{}, regionReadReqAppendWire, regionReadReqDecodeWire)
+	self(region, "regionReadResp", regionReadResp{}, regionReadRespAppendWire, regionReadRespDecodeWire)
+	self(region, "regionSpanReq", regionSpanReq{}, regionSpanReqAppendWire, regionSpanReqDecodeWire)
+	self(region, "regionSpanResp", regionSpanResp{}, regionSpanRespAppendWire, regionSpanRespDecodeWire)
+	self(ctl, "hlrcFlush", hlrcFlush{}, nil, nil)
+	self(ctl, "hlrcAck", hlrcAck{}, nil, nil)
+	self(ctl, "homeBindReq", homeBindReq{}, nil, nil)
+	self(ctl, "homeBindResp", homeBindResp{}, nil, nil)
+	self(ctl, "acqReq", acqReq{}, nil, nil)
+	self(ctl, "acqFwd", acqFwd{}, nil, nil)
 
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "diffReq", Msg: diffReq{}, Wire: wireDiffReq{},
@@ -201,7 +208,7 @@ func init() {
 		},
 	})
 	transport.MustRegisterCodec(transport.Codec{
-		Name: "diffResp", Msg: diffResp{}, Wire: wireDiffResp{},
+		Name: "diffResp", Class: transport.ClassBulk, Msg: diffResp{}, Wire: wireDiffResp{},
 		AppendWire: diffRespAppendWire, DecodeWire: diffRespDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(diffResp)
@@ -239,7 +246,7 @@ func init() {
 		},
 	})
 	transport.MustRegisterCodec(transport.Codec{
-		Name: "spanFetchResp", Msg: spanFetchResp{}, Wire: wireSpanFetchResp{},
+		Name: "spanFetchResp", Class: transport.ClassBulk, Msg: spanFetchResp{}, Wire: wireSpanFetchResp{},
 		AppendWire: spanFetchRespAppendWire, DecodeWire: spanFetchRespDecodeWire,
 		Encode: func(m transport.Msg) any {
 			r := m.(spanFetchResp)

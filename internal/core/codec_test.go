@@ -73,7 +73,28 @@ func msgSamples() map[string][]transport.Msg {
 				},
 			},
 		},
+		"regionReadReq": {regionReadReq{Page: 17}, regionReadReq{Page: 9000, Hops: 3}},
+		"regionReadResp": {
+			regionReadResp{Data: mem.NewPage(), Applied: sampleVC()},
+			regionReadResp{}, // miss: page not published
+		},
+		"regionSpanReq": {regionSpanReq{Pages: []int{4, 5, 6}}, regionSpanReq{Pages: []int{9}}},
+		"regionSpanResp": {
+			regionSpanResp{Pages: []spanPageCopy{
+				{Page: 4, Served: true, Data: mem.NewPage(), Applied: sampleVC()},
+				{Page: 5, Served: true, Data: mem.NewPage(), Applied: sampleVC()},
+			}},
+			regionSpanResp{}, // miss: some page in the span not published
+		},
 		"ownReq": {ownReq{Page: 11, Version: 5, NeedPage: true, Applied: sampleVC()}},
+		"ownBatchReq": {ownBatchReq{Reqs: []ownReq{
+			{Page: 11, Version: 5, NeedPage: true, Applied: sampleVC()},
+			{Page: 12, Version: 0, Applied: sampleVC()},
+		}}},
+		"ownBatchResp": {ownBatchResp{Resps: []ownResp{
+			{Granted: true, Version: 6, Data: mem.NewPage(), Applied: sampleVC()},
+			{Granted: false, Version: 6},
+		}}},
 		"ownResp": {
 			ownResp{Granted: true, Version: 6, Data: mem.NewPage(), Applied: sampleVC()},
 			ownResp{Granted: false, Version: 6},
@@ -100,6 +121,32 @@ func msgSamples() map[string][]transport.Msg {
 				Switches: []policySwitch{{Page: 2, Proto: 0, Owner: 1, Version: 4}, {Page: 6, Proto: 4, Owner: 0, Version: 0}},
 				nprocs:   nprocs},
 		},
+	}
+}
+
+// TestMessageLaneClasses pins each hot message's codec class — the key the
+// tcp runtime selects lanes with. Large payload carriers must be bulk (so
+// they ride the bulk lane and cannot head-of-line block barrier or
+// ownership traffic), every request and control-plane message must stay on
+// the control lane (requests must never reorder against the grants and
+// releases they race with), and the one-sided messages get the region lane.
+func TestMessageLaneClasses(t *testing.T) {
+	want := map[transport.Class][]transport.Msg{
+		transport.ClassControl: {
+			pageReq{}, diffReq{}, spanFetchReq{}, ownReq{}, ownResp{},
+			ownBatchReq{}, ownBatchResp{}, swOwnReq{}, swOwnGrant{},
+			barArrive{}, barRelease{}, acqReq{}, acqGrant{},
+			hlrcFlush{}, hlrcAck{},
+		},
+		transport.ClassBulk:   {pageResp{}, diffResp{}, spanFetchResp{}},
+		transport.ClassRegion: {regionReadReq{}, regionReadResp{}, regionSpanReq{}, regionSpanResp{}},
+	}
+	for class, msgs := range want {
+		for _, m := range msgs {
+			if got := transport.ClassOf(m); got != class {
+				t.Errorf("%T: class %v, want %v", m, got, class)
+			}
+		}
 	}
 }
 

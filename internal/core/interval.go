@@ -98,6 +98,7 @@ func (n *Node) closeInterval() *Interval {
 		iv.WNs = append(iv.WNs, wn)
 		ps.myLastWN = wn
 		ps.knownWNs = append(ps.knownWNs, wn)
+		n.invalidateRegion(pg, ps)
 		ps.applied.Join(ivc)
 		n.wroteSinceGC[pg] = true
 		n.c.detector.noteWrite(wn)

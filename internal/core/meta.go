@@ -296,6 +296,9 @@ func (n *Node) applyPolicySwitches(sws []policySwitch) {
 		if ps.proto == target {
 			continue
 		}
+		// The page changes protocol (and possibly applied vector) below:
+		// retract any one-sided publication built under the old policy.
+		n.invalidateRegion(sw.Page, ps)
 		toWFS := target == ad.wfs
 		toHLRC := ad.hlrcOK && target == ad.hlrc
 

@@ -135,6 +135,62 @@ func (m spanFetchResp) Size() int {
 	return n
 }
 
+// --- one-sided region reads (tcp region lane) ---
+
+// regionReadReq asks a peer's region server for a whole-page copy without
+// involving its protocol handler — the software analogue of an RDMA READ.
+// It mirrors pageReq byte-for-byte (Hops is always 0 on the one-sided
+// path), so a served one-sided read charges the traffic counters exactly
+// what the handler-path pageReq would have, keeping the sim/tcp
+// count-equivalence pins intact.
+type regionReadReq struct {
+	Page int
+	Hops int
+}
+
+func (m regionReadReq) Size() int { return iLen(m.Page) + iLen(m.Hops) }
+
+// regionReadResp carries the published page snapshot; it mirrors pageResp.
+type regionReadResp struct {
+	Data    []byte
+	Applied vc.VC
+}
+
+func (m regionReadResp) Size() int { return vcLen(m.Applied) + iLen(len(m.Data)) + len(m.Data) }
+
+// regionSpanReq asks the region server for a span's page copies in one
+// round-trip. It mirrors a diff-less spanFetchReq: the trailing reserved
+// count (always zero) stands in for the empty Diffs section, so the two
+// encodings have identical length and a served one-sided span fetch is
+// charged exactly like the handler-path spanFetchReq it replaces.
+type regionSpanReq struct {
+	Pages []int
+}
+
+func (m regionSpanReq) Size() int {
+	n := iLen(len(m.Pages))
+	for _, p := range m.Pages {
+		n += iLen(p)
+	}
+	return n + 1 // trailing reserved zero count (the empty diff section)
+}
+
+// regionSpanResp answers with per-page copies, mirroring a diff-less
+// spanFetchResp (trailing reserved zero count, as in regionSpanReq).
+// Served=false marks pages the region could not serve; the requester falls
+// back to the handler path for those.
+type regionSpanResp struct {
+	Pages []spanPageCopy
+}
+
+func (m regionSpanResp) Size() int {
+	n := iLen(len(m.Pages))
+	for _, p := range m.Pages {
+		n += iLen(p.Page) + 1 + vcLen(p.Applied) + iLen(len(p.Data)) + len(p.Data)
+	}
+	return n + 1
+}
+
 // --- ownership (adaptive protocols) ---
 
 // ownReq is an ownership request sent directly to the last perceived owner
@@ -169,6 +225,35 @@ type ownResp struct {
 
 func (m ownResp) Size() int {
 	return 1 + i32Len(m.Version) + vcLen(m.Applied) + iLen(len(m.Data)) + len(m.Data)
+}
+
+// ownBatchReq groups a span plan's ownership requests addressed to one
+// perceived owner into a single message (write-span grant batching). The
+// grantor answers each entry exactly as it would a serial ownReq arriving
+// at the same instant; grants and refusals are per entry.
+type ownBatchReq struct {
+	Reqs []ownReq
+}
+
+func (m ownBatchReq) Size() int {
+	n := iLen(len(m.Reqs))
+	for _, r := range m.Reqs {
+		n += r.Size()
+	}
+	return n
+}
+
+// ownBatchResp answers an ownBatchReq positionally.
+type ownBatchResp struct {
+	Resps []ownResp
+}
+
+func (m ownBatchResp) Size() int {
+	n := iLen(len(m.Resps))
+	for _, r := range m.Resps {
+		n += r.Size()
+	}
+	return n
 }
 
 // --- ownership (pure SW protocol, home-based) ---

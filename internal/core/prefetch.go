@@ -112,6 +112,12 @@ func (n *Node) spanPrefetch(addr, size int, read bool) {
 // where the protocol's write fault validates without an ownership grant.
 // Process context.
 func (n *Node) prefetchPages(pages []int, read bool) {
+	if !read {
+		// Write spans under the direct-request ownership protocols: group
+		// the span's ownership requests per perceived owner first, so the
+		// per-page loop finds the granted pages already writable.
+		n.batchOwnership(pages)
+	}
 	var plans []spanPlan
 	declined := 0
 	rounds := 0 // blocking rounds the serial path would take for this work
@@ -213,6 +219,30 @@ func (n *Node) prefetchPages(pages []int, read bool) {
 	copies := make(map[int]*spanPageCopy)
 	if len(targets) > 0 {
 		n.Stats.BatchedFetches++
+	}
+	// One-sided pass: a destination whose request carries only page
+	// fetches (no diff bundles) may be served entirely from its region
+	// (region.go); destinations the region declines stay in the Multicall.
+	if n.c.oneSided != nil {
+		kept := targets[:0]
+		for _, t := range targets {
+			sr := t.M.(spanFetchReq)
+			if len(sr.Diffs) > 0 {
+				kept = append(kept, t)
+				continue
+			}
+			pcs, ok := n.oneSidedSpanFetch(t.To, sr.Pages)
+			if !ok {
+				kept = append(kept, t)
+				continue
+			}
+			for i := range pcs {
+				copies[pcs[i].Page] = &pcs[i]
+			}
+		}
+		targets = kept
+	}
+	if len(targets) > 0 {
 		resps := n.c.rt.Multicall(n.proc, targets)
 		// Store every bundled diff before installing any page: a page's
 		// install may replay diffs another destination returned.
@@ -255,6 +285,81 @@ func (n *Node) prefetchPages(pages []int, read bool) {
 		}
 		n.Stats.PrefetchPages++
 		pl.ps.policy.SpanSettle(n, pl.pg, pl.ps)
+	}
+}
+
+// batchOwnership groups a write span's ownership requests per perceived
+// owner and issues each group of two or more as one ownBatchReq in a
+// single overlapped Multicall (write-span grant batching). Each granted
+// page goes through the same finishOwnership the serial path runs — the
+// batch consumes that page's write fault, so its accounting mirrors the
+// serial fault's. A refused page flips to MW and is left for the per-page
+// loop's serial write fault, exactly like a serial refusal. Pages that
+// need a merge first (pending diff-backed notices), groups of one, and
+// pages under non-batching policies all keep the serial path untouched.
+// Process context.
+func (n *Node) batchOwnership(pages []int) {
+	type ent struct {
+		pg int
+		ps *pageState
+	}
+	var groups map[int][]ent
+	var reqs map[int][]ownReq
+	for _, pg := range pages {
+		ps := n.pages[pg]
+		if !ps.policy.BatchOwnershipSpans() || ps.mode != modeSW || ps.owner ||
+			ps.status == pageReadWrite {
+			continue
+		}
+		hasDiffs := false
+		for _, wn := range ps.pending {
+			if !wn.Owner && !wn.Int.VC.Leq(ps.applied) {
+				hasDiffs = true
+				break
+			}
+		}
+		if hasDiffs {
+			continue // must merge before requesting: serial path
+		}
+		target, req, ok := n.buildOwnReq(pg, ps)
+		if !ok {
+			continue
+		}
+		if groups == nil {
+			groups = make(map[int][]ent)
+			reqs = make(map[int][]ownReq)
+		}
+		groups[target] = append(groups[target], ent{pg: pg, ps: ps})
+		reqs[target] = append(reqs[target], req)
+	}
+	var targets []transport.Target
+	var ents [][]ent
+	for p := 0; p < n.c.params.Procs; p++ {
+		if es := groups[p]; len(es) >= 2 {
+			targets = append(targets, transport.Target{To: p, M: ownBatchReq{Reqs: reqs[p]}})
+			ents = append(ents, es)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	resps := n.c.rt.Multicall(n.proc, targets)
+	for i, r := range resps {
+		br := r.(ownBatchResp)
+		for j, resp := range br.Resps {
+			e := ents[i][j]
+			n.Stats.OwnReqs++
+			n.Stats.BatchedOwnReqs++
+			if n.finishOwnership(e.pg, e.ps, resp) {
+				// Granted: the batch consumed this page's write fault.
+				n.Stats.WriteFaults++
+				n.c.detector.noteAccess(e.pg, n.id, false)
+			} else {
+				// Refused: write-write false sharing, as in the serial
+				// path; the per-page loop's fault services the page in MW.
+				n.setMode(e.ps, modeMW)
+			}
+		}
 	}
 }
 

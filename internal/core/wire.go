@@ -395,6 +395,119 @@ func spanFetchRespDecodeWire(body []byte) (transport.Msg, error) {
 	return m, nil
 }
 
+// --- one-sided region reads ---
+
+func regionReadReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(regionReadReq)
+	b = putI(b, r.Page)
+	b = putI(b, r.Hops)
+	return b, payloads
+}
+
+func regionReadReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	m := regionReadReq{Page: r.Int(), Hops: r.Int()}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func regionReadRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(regionReadResp)
+	b = putVC(b, r.Applied)
+	b = putI(b, len(r.Data))
+	if len(r.Data) > 0 {
+		payloads = append(payloads, r.Data)
+	}
+	return b, payloads
+}
+
+func regionReadRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m regionReadResp
+	m.Applied = readVC(r)
+	m.Data = r.Bytes(r.Int())
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// The span forms carry a trailing reserved count that is always zero (it
+// stands in for spanFetchReq/Resp's empty Diffs section, keeping the
+// encodings length-identical to the handler-path pair); the decoders
+// reject a nonzero value so encode∘decode stays a fixed point.
+
+func regionSpanReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(regionSpanReq)
+	b = putI(b, len(r.Pages))
+	for _, p := range r.Pages {
+		b = putI(b, p)
+	}
+	b = putI(b, 0)
+	return b, payloads
+}
+
+func regionSpanReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m regionSpanReq
+	np := r.Count(1)
+	if np > 0 {
+		m.Pages = make([]int, np)
+		for i := range m.Pages {
+			m.Pages[i] = r.Int()
+		}
+	}
+	if r.Int() != 0 {
+		r.Fail()
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func regionSpanRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(regionSpanResp)
+	b = putI(b, len(r.Pages))
+	for _, p := range r.Pages {
+		b = putI(b, p.Page)
+		b = putBool(b, p.Served)
+		b = putVC(b, p.Applied)
+		b = putI(b, len(p.Data))
+		if len(p.Data) > 0 {
+			payloads = append(payloads, p.Data)
+		}
+	}
+	b = putI(b, 0)
+	return b, payloads
+}
+
+func regionSpanRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m regionSpanResp
+	np := r.Count(4)
+	pageLens := make([]int, 0, np)
+	if np > 0 {
+		m.Pages = make([]spanPageCopy, np)
+		for i := range m.Pages {
+			m.Pages[i] = spanPageCopy{Page: r.Int(), Served: r.Bool(), Applied: readVC(r)}
+			pageLens = append(pageLens, r.Int())
+		}
+	}
+	if r.Int() != 0 {
+		r.Fail()
+	}
+	for i := range m.Pages {
+		m.Pages[i].Data = r.Bytes(pageLens[i])
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // --- ownership ---
 
 func ownReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
@@ -434,6 +547,63 @@ func ownRespDecodeWire(body []byte) (transport.Msg, error) {
 	m := ownResp{Granted: r.Bool(), Version: r.I32()}
 	m.Applied = readVC(r)
 	m.Data = r.Bytes(r.Int())
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func ownBatchReqAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(ownBatchReq)
+	b = putI(b, len(r.Reqs))
+	for _, q := range r.Reqs {
+		b, payloads = ownReqAppendWire(q, b, payloads)
+	}
+	return b, payloads
+}
+
+func ownBatchReqDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m ownBatchReq
+	nr := r.Count(4)
+	if nr > 0 {
+		m.Reqs = make([]ownReq, nr)
+		for i := range m.Reqs {
+			m.Reqs[i] = ownReq{Page: r.Int(), Version: r.I32(), NeedPage: r.Bool(), Resume: r.Bool()}
+			m.Reqs[i].Applied = readVC(r)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func ownBatchRespAppendWire(m transport.Msg, b []byte, payloads [][]byte) ([]byte, [][]byte) {
+	r := m.(ownBatchResp)
+	b = putI(b, len(r.Resps))
+	for _, q := range r.Resps {
+		b, payloads = ownRespAppendWire(q, b, payloads)
+	}
+	return b, payloads
+}
+
+func ownBatchRespDecodeWire(body []byte) (transport.Msg, error) {
+	r := transport.NewWireReader(body)
+	var m ownBatchResp
+	nr := r.Count(3)
+	pageLens := make([]int, 0, nr)
+	if nr > 0 {
+		m.Resps = make([]ownResp, nr)
+		for i := range m.Resps {
+			m.Resps[i] = ownResp{Granted: r.Bool(), Version: r.I32()}
+			m.Resps[i].Applied = readVC(r)
+			pageLens = append(pageLens, r.Int())
+		}
+	}
+	for i := range m.Resps {
+		m.Resps[i].Data = r.Bytes(pageLens[i])
+	}
 	if err := r.Close(); err != nil {
 		return nil, err
 	}

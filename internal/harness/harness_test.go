@@ -242,3 +242,26 @@ func TestPrefetchSweep(t *testing.T) {
 		t.Errorf("prefetch sweep table malformed:\n%s", out)
 	}
 }
+
+// TestGrantBatchingFires pins write-span grant batching end to end: the
+// stencil kernels whose write spans cross page boundaries toward one
+// perceived owner (Shallow's copy-back phases) must ride grouped
+// ownBatchReqs under the direct-request ownership protocols, and the
+// batched execution must be counter- and checksum-identical to itself —
+// the sweep's prefetch-on run is the batched arm, so a nonzero counter
+// plus the sim determinism the matrix already asserts is the pin.
+func TestGrantBatchingFires(t *testing.T) {
+	m := quickMatrix()
+	// Eight procs: with four, Shallow's quick-input bands leave fewer than
+	// two span pages per perceived owner, so no group forms.
+	m.Procs = 8
+	for _, proto := range []adsm.Protocol{adsm.WFS, adsm.WFSWG} {
+		rep := m.Parallel("Shallow", proto)
+		if rep.Stats.BatchedOwnReqs == 0 {
+			t.Errorf("Shallow/%v: no ownership request rode a grouped batch", proto)
+		} else {
+			t.Logf("Shallow/%v: %d batched ownership requests, %d ownReqs total",
+				proto, rep.Stats.BatchedOwnReqs, rep.Stats.OwnershipRequests)
+		}
+	}
+}

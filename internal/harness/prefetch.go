@@ -54,6 +54,13 @@ type PrefetchCell struct {
 	OffWireBytes  int64
 	OnModelBytes  int64
 	OffModelBytes int64
+
+	// Lane split and one-sided activity of the best prefetch-on tcp run:
+	// per-lane wire bytes (control, bulk, region) and how many fetches the
+	// region lane served without touching the protocol handler.
+	OnLaneBytes       []int64
+	OneSidedReads     int64
+	OneSidedFallbacks int64
 }
 
 // VirtualSpeedup is the virtual-time ratio off/on (>1: batching wins).
@@ -162,6 +169,9 @@ func (m *Matrix) PrefetchSweepData(tcp bool) []PrefetchCell {
 						cell.OnTCPWall = wallOn
 						cell.OnWireBytes = tcpOn.report.Stats.WireBytes
 						cell.OnModelBytes = tcpOn.report.Stats.DataBytes
+						cell.OnLaneBytes = tcpOn.report.Stats.LaneBytes
+						cell.OneSidedReads = tcpOn.report.Stats.OneSidedReads
+						cell.OneSidedFallbacks = tcpOn.report.Stats.OneSidedFallbacks
 					}
 					if cell.OffTCPWall == 0 || wallOff < cell.OffTCPWall {
 						cell.OffTCPWall = wallOff
@@ -182,8 +192,19 @@ func (m *Matrix) PrefetchSweepData(tcp bool) []PrefetchCell {
 func (m *Matrix) PrefetchSweep() string {
 	t := &table{header: []string{"App", "Protocol", "Virtual off (s)", "Virtual on (s)",
 		"Sim speedup", "Msgs off", "Msgs on", "Batches", "Pages", "Fallbacks",
-		"TCP off (ms)", "TCP on (ms)", "TCP speedup", "Wire on (KB)", "Model on (KB)"}}
+		"TCP off (ms)", "TCP on (ms)", "TCP speedup", "Wire on (KB)", "Model on (KB)",
+		"Lanes c/b/r (KB)", "1-sided"}}
 	for _, c := range m.PrefetchSweepData(true) {
+		lanes := "-"
+		if len(c.OnLaneBytes) > 0 {
+			lanes = ""
+			for i, b := range c.OnLaneBytes {
+				if i > 0 {
+					lanes += "/"
+				}
+				lanes += fmt.Sprintf("%.0f", float64(b)/1024)
+			}
+		}
 		t.add(c.App, c.Proto.String(),
 			seconds(c.OffVirtual), seconds(c.OnVirtual),
 			fmt.Sprintf("%.2fx", c.VirtualSpeedup()),
@@ -193,9 +214,11 @@ func (m *Matrix) PrefetchSweep() string {
 			fmt.Sprintf("%.1f", float64(c.OnTCPWall.Microseconds())/1000),
 			fmt.Sprintf("%.2fx", c.TCPSpeedup()),
 			fmt.Sprintf("%.1f", float64(c.OnWireBytes)/1024),
-			fmt.Sprintf("%.1f", float64(c.OnModelBytes)/1024))
+			fmt.Sprintf("%.1f", float64(c.OnModelBytes)/1024),
+			lanes, fmt.Sprint(c.OneSidedReads))
 	}
 	return "Prefetch experiment: span fetches batched into one overlapped Multicall vs serial faults\n" +
 		"(checksums verified identical per cell; tcp wall clock is best-of-" +
-		fmt.Sprint(prefetchSweepReps) + "; wire KB is the binary framing's real cost, model KB the Msg.Size() accounting)\n\n" + t.String()
+		fmt.Sprint(prefetchSweepReps) + "; wire KB is the binary framing's real cost, model KB the Msg.Size() accounting;\n" +
+		"lanes splits the prefetch-on wire bytes control/bulk/region, 1-sided counts fetches served from peer regions)\n\n" + t.String()
 }

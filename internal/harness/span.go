@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"adsm"
@@ -91,7 +92,7 @@ func (m *Matrix) SpanSweepData() []SpanCell {
 				panic(fmt.Sprintf("harness: span sweep %s/%v: checksum diverged: span %v, per-word %v",
 					name, proto, fast.checksum, slow.checksum))
 			}
-			if fast.report.Stats != slow.report.Stats {
+			if !reflect.DeepEqual(fast.report.Stats, slow.report.Stats) {
 				panic(fmt.Sprintf("harness: span sweep %s/%v: protocol counters diverged:\nspan:     %+v\nper-word: %+v",
 					name, proto, fast.report.Stats, slow.report.Stats))
 			}

@@ -57,6 +57,12 @@ type Node struct {
 	BatchedFetches  int64 // batched span-fetch rounds issued (one Multicall each)
 	PrefetchPages   int64 // pages made valid through the batched span path
 	SerialFallbacks int64 // planned pages that fell back to the serial fault path
+
+	// One-sided region reads (tcp region lane) and write-span grant
+	// batching.
+	OneSidedReads     int64 // page/span fetches served from a peer's region
+	OneSidedFallbacks int64 // region probes that fell back to the handler path
+	BatchedOwnReqs    int64 // ownership requests that rode an ownBatchReq
 }
 
 // NoteLive updates the high-water mark after a change to the live pools.
@@ -99,6 +105,9 @@ func (s *Node) Add(o *Node) {
 	s.BatchedFetches += o.BatchedFetches
 	s.PrefetchPages += o.PrefetchPages
 	s.SerialFallbacks += o.SerialFallbacks
+	s.OneSidedReads += o.OneSidedReads
+	s.OneSidedFallbacks += o.OneSidedFallbacks
+	s.BatchedOwnReqs += o.BatchedOwnReqs
 }
 
 // Sum aggregates a slice of per-node stats into one total.

@@ -23,11 +23,28 @@ import (
 // (intervals whose write notices point back at their interval) register an
 // explicit flat wire struct plus the two conversions.
 
+// Class partitions messages across a multiplexing transport's per-pair
+// lanes. Control is the default: small latency-critical frames (barriers,
+// locks, ownership, requests). Bulk marks large payload-bearing replies
+// that would head-of-line-block control traffic on a shared connection.
+// Region marks one-sided region-read traffic, which travels on its own
+// dedicated connection served off the protocol handler loop entirely.
+type Class uint8
+
+const (
+	ClassControl Class = iota
+	ClassBulk
+	ClassRegion
+)
+
 // Codec gives one protocol message type a wire encoding.
 type Codec struct {
 	// Name is the stable wire name (registered with gob, so it must never
 	// change once peers may disagree on binary versions).
 	Name string
+	// Class assigns the message to a transport lane (default ClassControl).
+	// Transports that do not multiplex ignore it.
+	Class Class
 	// Msg is a zero sample of the protocol message type; its dynamic type
 	// keys the encode path.
 	Msg Msg
@@ -120,6 +137,20 @@ func CodecOf(m Msg) (Codec, bool) {
 	defer codecMu.RUnlock()
 	c, ok := codecByMsg[reflect.TypeOf(m)]
 	return c, ok
+}
+
+// ClassOf reports the lane class of a message (ClassControl when the
+// message has no codec — error replies and handshake frames are control
+// traffic by definition).
+func ClassOf(m Msg) Class {
+	if m == nil {
+		return ClassControl
+	}
+	c, ok := CodecOf(m)
+	if !ok {
+		return ClassControl
+	}
+	return c.Class
 }
 
 // Codecs lists every registered codec in name order-independent map order;

@@ -1,0 +1,8 @@
+//go:build race
+
+package tcp
+
+// raceEnabled reports that this binary was built with the race detector:
+// allocation-budget assertions are skipped there (instrumentation changes
+// sync.Pool behaviour and allocation counts).
+const raceEnabled = true

@@ -30,6 +30,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adsm/internal/transport"
@@ -45,6 +46,19 @@ type Options struct {
 	// Addrs gives every node's listen address, indexed by node id. Nil
 	// picks loopback addresses automatically (all nodes must be local).
 	Addrs []string
+	// Lanes is the number of data connections per ordered node pair:
+	// 1 = the classic single shared connection, 2 (the default) adds a
+	// dedicated bulk lane so large page/diff payloads never head-of-line
+	// block a latency-critical barrier release or ownership grant. Lane
+	// selection is keyed off each message's codec class
+	// (transport.ClassOf); every participant must use the same value.
+	Lanes int
+	// OneSided adds one more connection per pair — the region lane — and
+	// enables the RDMA-style one-sided read path: region requests are
+	// served from the peer's registered memory region on a dedicated
+	// goroutine, bypassing the handler and the protocol state lock. Every
+	// participant must use the same value.
+	OneSided bool
 	// Timescale multiplies the modelled compute/processing delays
 	// (Worker.Compute, diff-creation reply latency, the SW ownership
 	// quantum) into real sleeps. 0 skips the sleeps entirely — protocol
@@ -72,6 +86,13 @@ const (
 	opCall             // a request (fresh or forwarded)
 	opReply            // the answer travelling back to the call's origin
 	opBye              // orderly shutdown: this endpoint's bodies finished
+)
+
+// lane indices. The control lane always exists; the bulk lane exists when
+// Lanes > 1; the region lane (index == Lanes) exists when OneSided is set.
+const (
+	laneControl = 0
+	laneBulk    = 1
 )
 
 // body kinds: how the bytes after the fixed header are encoded.
@@ -311,18 +332,31 @@ type callState struct {
 	err     error
 }
 
-// end is this runtime's end of the connection between one hosted node and
-// one peer node. Protocol code never blocks on the socket: sends enqueue
-// onto an unbounded queue drained by a dedicated writer goroutine, so a
-// full TCP buffer can never wedge a handler that holds the state lock.
+// regionCall tracks one blocking one-sided read. Region replies bypass
+// the ordinary call table: they are matched under their own small mutex so
+// completing one never contends with the protocol state lock.
+type regionCall struct {
+	done chan struct{}
+	m    transport.Msg
+	ok   bool
+	err  error
+}
+
+// end is this runtime's end of one lane of the connection bundle between
+// one hosted node and one peer node. Protocol code never blocks on the
+// socket: sends enqueue onto an unbounded queue drained by a dedicated
+// writer goroutine, so a full TCP buffer can never wedge a handler that
+// holds the state lock.
 type end struct {
 	rt          *Runtime
 	owner, peer int
+	lane        int
 	conn        net.Conn
 
 	qmu    sync.Mutex
 	qcond  *sync.Cond
 	q      []outFrame
+	qhwm   int64 // peak queue depth over the run
 	closed bool
 
 	byeOnce sync.Once
@@ -339,6 +373,9 @@ type Runtime struct {
 	dialT    time.Duration
 	fprnt    string
 	forceGob bool
+	lanes    int  // data lanes per ordered pair (1 or 2)
+	oneSided bool // region lane present (lane index == lanes)
+	nlanes   int  // total connections per ordered pair
 
 	// mu is the protocol state lock: bodies hold it except while blocked
 	// in a call; frame dispatch and timers take it around handlers.
@@ -358,9 +395,23 @@ type Runtime struct {
 	wireFrames int64
 	wireBytes  int64
 	encodeNS   int64
+	laneBytes  []int64 // per-lane wire bytes, same coverage as wireBytes
+
+	// One-sided read machinery. regCalls matches region replies under its
+	// own mutex (lock order: mu, then regMu — regionLoop takes regMu
+	// alone). The reg* counters are the region server's share of the
+	// traffic/wire accounting, atomics because the server goroutine never
+	// touches mu.
+	regMu         sync.Mutex
+	regCalls      map[uint64]*regionCall
+	regions       []func(from int, req transport.Msg) (transport.Msg, bool)
+	regMsgs       int64 // atomic: model messages charged by the region server
+	regBytes      int64 // atomic: model bytes charged by the region server
+	regWireFrames int64 // atomic: real frames sent by the region server
+	regWireBytes  int64 // atomic: real bytes sent by the region server
 
 	isLocal   []bool
-	ends      [][]*end // [local node][peer node]
+	ends      [][][]*end // [local node][peer node][lane]
 	listeners []net.Listener
 	bodies    map[int]func(transport.Proc)
 	runGate   chan struct{}
@@ -371,9 +422,9 @@ type Runtime struct {
 }
 
 // New builds the endpoint: binds the local listeners, establishes the full
-// mesh (one connection per pair of nodes with a hosted end; the
-// higher-numbered node dials the lower), and returns once every expected
-// peer is connected.
+// mesh (a bundle of lane connections per pair of nodes with a hosted end;
+// the higher-numbered node dials the lower once per lane), and returns
+// once every expected peer is connected.
 func New(o Options) (*Runtime, error) {
 	if o.Procs < 1 {
 		return nil, fmt.Errorf("tcp: need at least one node")
@@ -406,26 +457,46 @@ func New(o Options) (*Runtime, error) {
 	if dialT == 0 {
 		dialT = 20 * time.Second
 	}
+	lanes := o.Lanes
+	if lanes == 0 {
+		lanes = 2
+	}
+	if lanes < 1 || lanes > 2 {
+		return nil, fmt.Errorf("tcp: lanes must be 1 (single connection) or 2 (control+bulk), got %d", lanes)
+	}
+	nlanes := lanes
+	if o.OneSided {
+		nlanes++
+	}
 
 	rt := &Runtime{
-		procs:    o.Procs,
-		local:    local,
-		scale:    o.Timescale,
-		start:    time.Now(),
-		dialT:    dialT,
-		fprnt:    o.Fingerprint,
-		forceGob: o.ForceGob,
-		handlers: make([]transport.Handler, o.Procs),
-		calls:    make(map[uint64]*callState),
-		msgs:     make([]int64, o.Procs),
-		bytes:    make([]int64, o.Procs),
-		isLocal:  isLocal,
-		ends:     make([][]*end, o.Procs),
-		bodies:   make(map[int]func(transport.Proc)),
-		runGate:  make(chan struct{}),
+		procs:     o.Procs,
+		local:     local,
+		scale:     o.Timescale,
+		start:     time.Now(),
+		dialT:     dialT,
+		fprnt:     o.Fingerprint,
+		forceGob:  o.ForceGob,
+		lanes:     lanes,
+		oneSided:  o.OneSided,
+		nlanes:    nlanes,
+		handlers:  make([]transport.Handler, o.Procs),
+		calls:     make(map[uint64]*callState),
+		regCalls:  make(map[uint64]*regionCall),
+		regions:   make([]func(int, transport.Msg) (transport.Msg, bool), o.Procs),
+		msgs:      make([]int64, o.Procs),
+		bytes:     make([]int64, o.Procs),
+		laneBytes: make([]int64, nlanes),
+		isLocal:   isLocal,
+		ends:      make([][][]*end, o.Procs),
+		bodies:    make(map[int]func(transport.Proc)),
+		runGate:   make(chan struct{}),
 	}
 	for _, id := range local {
-		rt.ends[id] = make([]*end, o.Procs)
+		rt.ends[id] = make([][]*end, o.Procs)
+		for peer := range rt.ends[id] {
+			rt.ends[id][peer] = make([]*end, nlanes)
+		}
 	}
 
 	// Copy: the listener loop rewrites auto-selected addresses, and the
@@ -460,20 +531,23 @@ func New(o Options) (*Runtime, error) {
 // in-process mode, where they are picked automatically).
 func (rt *Runtime) Addrs() []string { return append([]string(nil), rt.addrs...) }
 
-// connectMesh establishes every pair connection with a hosted end: each
-// hosted node dials every lower-numbered node and accepts a connection
-// from every higher-numbered one.
+// connectMesh establishes every lane connection with a hosted end: for
+// each node pair the higher-numbered node dials the lower once per lane
+// (the hello's Idx field names the lane), and each hosted node accepts the
+// matching bundle from every higher-numbered peer. The hello ack carries
+// the acceptor's lane count in Idx, so a -lanes/-onesided mismatch between
+// participants is a clear startup error rather than a hung mesh.
 func (rt *Runtime) connectMesh() error {
 	type res struct {
 		e   *end
 		err error
 	}
 	expect := 0
-	ch := make(chan res, rt.procs*rt.procs)
+	ch := make(chan res, rt.procs*rt.procs*rt.nlanes)
 
 	// Accept side: every hosted node accepts from higher-numbered peers.
 	for li, id := range rt.local {
-		want := rt.procs - 1 - id
+		want := (rt.procs - 1 - id) * rt.nlanes
 		expect += want
 		l := rt.listeners[li]
 		id := id
@@ -496,7 +570,8 @@ func (rt *Runtime) connectMesh() error {
 					ch <- res{err: fmt.Errorf("tcp: node %d received a frame addressed to node %d (op %d) instead of a hello — check that every participant uses the same -addrs order", id, hello.To, hello.Op)}
 					return
 				}
-				ack := &frame{Op: opHello, From: id, To: hello.From, Tag: rt.fprnt, Digest: transport.WireDigest()}
+				ack := &frame{Op: opHello, From: id, To: hello.From, Idx: rt.nlanes,
+					Tag: rt.fprnt, Digest: transport.WireDigest()}
 				switch {
 				case hello.Tag != "" && rt.fprnt != "" && hello.Tag != rt.fprnt:
 					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
@@ -504,6 +579,9 @@ func (rt *Runtime) connectMesh() error {
 				case hello.Digest != transport.WireDigest():
 					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
 						id, hello.From, transport.WireDigest(), hello.Digest)
+				case hello.Idx < 0 || hello.Idx >= rt.nlanes:
+					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d opened lane %d but this endpoint runs %d connections per pair — every participant must use the same -lanes and -onesided settings",
+						id, hello.From, hello.Idx, rt.nlanes)
 				}
 				if of, err := encodeFrame(ack, rt.forceGob); err == nil {
 					writeOut(conn, of)
@@ -514,68 +592,77 @@ func (rt *Runtime) connectMesh() error {
 					return
 				}
 				conn.SetReadDeadline(time.Time{})
-				ch <- res{e: rt.newEnd(id, hello.From, conn)}
+				ch <- res{e: rt.newEnd(id, hello.From, hello.Idx, conn)}
 			}
 		}()
 	}
 
-	// Dial side: every hosted node dials every lower-numbered peer.
+	// Dial side: every hosted node dials every lower-numbered peer, once
+	// per lane.
 	for _, id := range rt.local {
 		for peer := 0; peer < id; peer++ {
-			expect++
-			id, peer := id, peer
-			go func() {
-				deadline := time.Now().Add(rt.dialT)
-				var conn net.Conn
-				var err error
-				for {
-					conn, err = net.DialTimeout("tcp", rt.addrs[peer], time.Second)
-					if err == nil || time.Now().After(deadline) {
-						break
+			for lane := 0; lane < rt.nlanes; lane++ {
+				expect++
+				id, peer, lane := id, peer, lane
+				go func() {
+					deadline := time.Now().Add(rt.dialT)
+					var conn net.Conn
+					var err error
+					for {
+						conn, err = net.DialTimeout("tcp", rt.addrs[peer], time.Second)
+						if err == nil || time.Now().After(deadline) {
+							break
+						}
+						time.Sleep(100 * time.Millisecond)
 					}
-					time.Sleep(100 * time.Millisecond)
-				}
-				if err != nil {
-					ch <- res{err: fmt.Errorf("tcp: node %d dial node %d (%s): %w", id, peer, rt.addrs[peer], err)}
-					return
-				}
-				of, err := encodeFrame(&frame{Op: opHello, From: id, To: peer,
-					Tag: rt.fprnt, Digest: transport.WireDigest()}, rt.forceGob)
-				if err == nil {
-					err = writeOut(conn, of)
-				}
-				if err != nil {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d hello to node %d: %w", id, peer, err)}
-					return
-				}
-				conn.SetReadDeadline(time.Now().Add(rt.dialT))
-				ack, err := readFrame(conn)
-				if err != nil || ack.Op != opHello {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d: no hello ack from node %d: %v", id, peer, err)}
-					return
-				}
-				if ack.Err != "" {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d: node %d rejected the mesh: %s", id, peer, ack.Err)}
-					return
-				}
-				if ack.Tag != "" && rt.fprnt != "" && ack.Tag != rt.fprnt {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
-						id, peer, rt.fprnt, ack.Tag)}
-					return
-				}
-				if ack.Digest != transport.WireDigest() {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
-						id, peer, transport.WireDigest(), ack.Digest)}
-					return
-				}
-				conn.SetReadDeadline(time.Time{})
-				ch <- res{e: rt.newEnd(id, peer, conn)}
-			}()
+					if err != nil {
+						ch <- res{err: fmt.Errorf("tcp: node %d dial node %d (%s): %w", id, peer, rt.addrs[peer], err)}
+						return
+					}
+					of, err := encodeFrame(&frame{Op: opHello, From: id, To: peer, Idx: lane,
+						Tag: rt.fprnt, Digest: transport.WireDigest()}, rt.forceGob)
+					if err == nil {
+						err = writeOut(conn, of)
+					}
+					if err != nil {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d hello to node %d: %w", id, peer, err)}
+						return
+					}
+					conn.SetReadDeadline(time.Now().Add(rt.dialT))
+					ack, err := readFrame(conn)
+					if err != nil || ack.Op != opHello {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d: no hello ack from node %d: %v", id, peer, err)}
+						return
+					}
+					if ack.Err != "" {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d: node %d rejected the mesh: %s", id, peer, ack.Err)}
+						return
+					}
+					if ack.Tag != "" && rt.fprnt != "" && ack.Tag != rt.fprnt {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
+							id, peer, rt.fprnt, ack.Tag)}
+						return
+					}
+					if ack.Digest != transport.WireDigest() {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
+							id, peer, transport.WireDigest(), ack.Digest)}
+						return
+					}
+					if ack.Idx != rt.nlanes {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs %d connections per pair, ours %d — every participant must use the same -lanes and -onesided settings",
+							id, peer, ack.Idx, rt.nlanes)}
+						return
+					}
+					conn.SetReadDeadline(time.Time{})
+					ch <- res{e: rt.newEnd(id, peer, lane, conn)}
+				}()
+			}
 		}
 	}
 
@@ -586,28 +673,39 @@ func (rt *Runtime) connectMesh() error {
 			if r.err != nil {
 				return r.err
 			}
-			rt.ends[r.e.owner][r.e.peer] = r.e
+			if rt.ends[r.e.owner][r.e.peer][r.e.lane] != nil {
+				return fmt.Errorf("tcp: node %d: duplicate lane %d connection from node %d", r.e.owner, r.e.lane, r.e.peer)
+			}
+			rt.ends[r.e.owner][r.e.peer][r.e.lane] = r.e
 		case <-timeout:
 			return fmt.Errorf("tcp: mesh incomplete after %v (are all peers running?)", rt.dialT)
 		}
 	}
-	// Start the frame pumps.
+	// Start the frame pumps. Region-lane reads are served by regionLoop,
+	// the dedicated server goroutine that never touches the state lock.
 	for _, id := range rt.local {
-		for _, e := range rt.ends[id] {
-			if e != nil {
+		for _, lanes := range rt.ends[id] {
+			for _, e := range lanes {
+				if e == nil {
+					continue
+				}
 				go e.writeLoop()
-				go e.readLoop()
+				if rt.oneSided && e.lane == rt.lanes {
+					go e.regionLoop()
+				} else {
+					go e.readLoop()
+				}
 			}
 		}
 	}
 	return nil
 }
 
-func (rt *Runtime) newEnd(owner, peer int, conn net.Conn) *end {
+func (rt *Runtime) newEnd(owner, peer, lane int, conn net.Conn) *end {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	e := &end{rt: rt, owner: owner, peer: peer, conn: conn, bye: make(chan struct{})}
+	e := &end{rt: rt, owner: owner, peer: peer, lane: lane, conn: conn, bye: make(chan struct{})}
 	e.qcond = sync.NewCond(&e.qmu)
 	return e
 }
@@ -618,11 +716,21 @@ func (e *end) enqueue(of outFrame) {
 	e.qmu.Lock()
 	if !e.closed {
 		e.q = append(e.q, of)
+		if n := int64(len(e.q)); n > e.qhwm {
+			e.qhwm = n
+		}
 		e.qcond.Signal()
 	} else {
 		of.fb.recycle()
 	}
 	e.qmu.Unlock()
+}
+
+// depth reports the current queue depth and its high-water mark.
+func (e *end) depth() (cur, hwm int64) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return int64(len(e.q)), e.qhwm
 }
 
 // flushed reports whether the queue has fully drained.
@@ -685,6 +793,68 @@ func (e *end) readLoop() {
 			continue
 		}
 		e.rt.dispatch(f)
+	}
+}
+
+// regionLoop pumps the region lane: incoming requests are served straight
+// from the owner's registered region on this goroutine — no handler, no
+// state lock — and incoming replies complete the matching OneSidedRead.
+// The reply's Idx carries the served/fallback flag (1 = served from the
+// region and charged, 0 = not available, uncharged).
+func (e *end) regionLoop() {
+	rt := e.rt
+	<-rt.runGate // regions are registered before Run starts
+	r := bufio.NewReaderSize(e.conn, 64<<10)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			e.byeOnce.Do(func() { close(e.bye) })
+			if !rt.shuttingDown() {
+				rt.fail(fmt.Errorf("tcp: node %d lost region lane to node %d: %w", e.owner, e.peer, err))
+			}
+			return
+		}
+		switch f.Op {
+		case opBye:
+			e.byeOnce.Do(func() { close(e.bye) })
+		case opCall:
+			var resp transport.Msg
+			var ok bool
+			if serve := rt.regions[e.owner]; serve != nil {
+				resp, ok = serve(f.From, f.M)
+			}
+			idx := 0
+			if ok {
+				idx = 1
+				// The server's half of the model charge: the pair the
+				// handler path would have charged for serving this read.
+				atomic.AddInt64(&rt.regMsgs, 1)
+				atomic.AddInt64(&rt.regBytes, int64(resp.Size()+transport.HeaderBytes))
+			} else {
+				resp = nil // fall back uncharged; requester retries via the handler path
+			}
+			rf := &frame{Op: opReply, From: e.owner, To: f.From, Origin: f.From, CallID: f.CallID, Idx: idx, M: resp}
+			of, err := encodeFrame(rf, rt.forceGob)
+			if err != nil {
+				rt.fail(fmt.Errorf("tcp: node %d encoding region reply to node %d: %v", e.owner, f.From, err))
+				return
+			}
+			atomic.AddInt64(&rt.regWireFrames, 1)
+			atomic.AddInt64(&rt.regWireBytes, int64(of.wire))
+			e.enqueue(of)
+		case opReply:
+			rt.regMu.Lock()
+			rc := rt.regCalls[f.CallID]
+			delete(rt.regCalls, f.CallID)
+			rt.regMu.Unlock()
+			if rc != nil {
+				rc.m, rc.ok = f.M, f.Idx == 1
+				close(rc.done)
+			}
+		default:
+			rt.fail(fmt.Errorf("tcp: node %d received op %d on the region lane from node %d", e.owner, f.Op, e.peer))
+			return
+		}
 	}
 }
 
@@ -757,14 +927,26 @@ func (rt *Runtime) completeLocked(id uint64, idx int, m transport.Msg, err error
 	}
 }
 
+// laneOf selects the data lane for a message: bulk-class payload replies
+// go to the bulk lane when it exists, everything else (requests, barrier
+// and lock traffic, gob escapes, error replies) stays on the control lane
+// so per-pair control ordering is a single FIFO connection.
+func (rt *Runtime) laneOf(m transport.Msg) int {
+	if rt.lanes > 1 && transport.ClassOf(m) == transport.ClassBulk {
+		return laneBulk
+	}
+	return laneControl
+}
+
 // sendLocked encodes and enqueues one frame between two distinct nodes,
 // charging the sender's traffic counters when it carries a message and
 // the wire-efficiency counters always.
 func (rt *Runtime) sendLocked(f *frame, m transport.Msg) {
 	e := rt.ends[f.From]
 	var ee *end
-	if e != nil {
-		ee = e[f.To]
+	lane := rt.laneOf(m)
+	if e != nil && e[f.To] != nil {
+		ee = e[f.To][lane]
 	}
 	if ee == nil {
 		panic(fmt.Sprintf("tcp: no connection from node %d to node %d", f.From, f.To))
@@ -782,6 +964,7 @@ func (rt *Runtime) sendLocked(f *frame, m transport.Msg) {
 	rt.encodeNS += time.Since(start).Nanoseconds()
 	rt.wireFrames++
 	rt.wireBytes += int64(of.wire)
+	rt.laneBytes[lane] += int64(of.wire)
 	ee.enqueue(of)
 }
 
@@ -950,7 +1133,7 @@ func (rt *Runtime) TotalMsgs() int64 {
 	for _, v := range rt.msgs {
 		s += v
 	}
-	return s
+	return s + atomic.LoadInt64(&rt.regMsgs)
 }
 
 // TotalBytes reports the bytes (payload+headers) sent by the hosted nodes.
@@ -961,21 +1144,21 @@ func (rt *Runtime) TotalBytes() int64 {
 	for _, v := range rt.bytes {
 		s += v
 	}
-	return s
+	return s + atomic.LoadInt64(&rt.regBytes)
 }
 
 // WireFrames reports the data-plane frames sent (transport.WireStats).
 func (rt *Runtime) WireFrames() int64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.wireFrames
+	return rt.wireFrames + atomic.LoadInt64(&rt.regWireFrames)
 }
 
 // WireBytes reports the real bytes (header+body) put on the wire.
 func (rt *Runtime) WireBytes() int64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.wireBytes
+	return rt.wireBytes + atomic.LoadInt64(&rt.regWireBytes)
 }
 
 // WireEncodeNanos reports cumulative frame-encode time.
@@ -983,6 +1166,121 @@ func (rt *Runtime) WireEncodeNanos() int64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.encodeNS
+}
+
+// LaneBytes reports the real wire bytes per lane (control, bulk, region in
+// lane order). Region-server replies are folded into the region lane.
+func (rt *Runtime) LaneBytes() []int64 {
+	rt.mu.Lock()
+	out := append([]int64(nil), rt.laneBytes...)
+	rt.mu.Unlock()
+	if rt.oneSided {
+		out[rt.lanes] += atomic.LoadInt64(&rt.regWireBytes)
+	}
+	return out
+}
+
+// LaneQueueDepth reports the frames currently queued per lane, summed over
+// every peer end.
+func (rt *Runtime) LaneQueueDepth() []int64 {
+	out := make([]int64, rt.nlanes)
+	rt.eachEnd(func(e *end) {
+		cur, _ := e.depth()
+		out[e.lane] += cur
+	})
+	return out
+}
+
+// LaneQueueHWM reports, per lane, the deepest any single per-end send
+// queue ever got.
+func (rt *Runtime) LaneQueueHWM() []int64 {
+	out := make([]int64, rt.nlanes)
+	rt.eachEnd(func(e *end) {
+		_, hwm := e.depth()
+		if hwm > out[e.lane] {
+			out[e.lane] = hwm
+		}
+	})
+	return out
+}
+
+func (rt *Runtime) eachEnd(fn func(*end)) {
+	for _, id := range rt.local {
+		for _, lanes := range rt.ends[id] {
+			for _, e := range lanes {
+				if e != nil {
+					fn(e)
+				}
+			}
+		}
+	}
+}
+
+// --- transport.OneSided ---
+
+// OneSidedEnabled reports whether the region lane exists on this mesh.
+func (rt *Runtime) OneSidedEnabled() bool { return rt.oneSided }
+
+// RegisterRegion installs the region server for a hosted node. serve runs
+// on the region lane's reader goroutines, concurrently with handlers and
+// bodies; it must synchronize its own reads. Must be called before Run.
+func (rt *Runtime) RegisterRegion(node int, serve func(from int, req transport.Msg) (transport.Msg, bool)) {
+	if !rt.isLocal[node] {
+		panic(fmt.Sprintf("tcp: node %d is not hosted by this endpoint", node))
+	}
+	rt.regions[node] = serve
+}
+
+// OneSidedRead performs one blocking region-read round-trip. The caller
+// holds the state lock (body context); it is released while blocked, like
+// any call. ok=false means the peer could not serve from its region (or
+// the lane is unavailable): nothing was charged and the caller should fall
+// back to the ordinary handler path.
+func (rt *Runtime) OneSidedRead(p transport.Proc, to int, req transport.Msg) (transport.Msg, bool) {
+	if !rt.oneSided {
+		return nil, false
+	}
+	from := p.ID()
+	if to == from || to < 0 || to >= rt.procs {
+		return nil, false
+	}
+	if rt.failErr != nil {
+		panic(rt.failErr)
+	}
+	ee := rt.ends[from][to][rt.lanes]
+	if ee == nil {
+		return nil, false
+	}
+	rt.nextCall++
+	id := rt.nextCall
+	rc := &regionCall{done: make(chan struct{})}
+	rt.regMu.Lock()
+	rt.regCalls[id] = rc
+	rt.regMu.Unlock()
+	f := &frame{Op: opCall, From: from, To: to, Origin: from, CallID: id, M: req}
+	start := time.Now()
+	of, err := encodeFrame(f, rt.forceGob)
+	if err != nil {
+		panic(fmt.Sprintf("tcp: encoding region read from node %d to node %d: %v", from, to, err))
+	}
+	rt.encodeNS += time.Since(start).Nanoseconds()
+	rt.wireFrames++
+	rt.wireBytes += int64(of.wire)
+	rt.laneBytes[rt.lanes] += int64(of.wire)
+	ee.enqueue(of)
+	rt.mu.Unlock()
+	<-rc.done
+	rt.mu.Lock()
+	if rc.err != nil {
+		panic(rc.err)
+	}
+	if rc.ok {
+		// The requester's half of the model charge: the request the
+		// handler path would have sent for this read.
+		rt.msgs[from]++
+		rt.bytes[from] += int64(req.Size() + transport.HeaderBytes)
+	}
+	return rc.m, rc.ok
 }
 
 // --- transport.Runtime ---
@@ -1062,36 +1360,31 @@ func (rt *Runtime) Run() error {
 // keep serving pages and locks until the whole cluster is done with it.
 func (rt *Runtime) goodbye() {
 	deadline := time.Now().Add(rt.dialT)
-	for _, id := range rt.local {
-		for _, e := range rt.ends[id] {
-			if e == nil {
-				continue
-			}
-			if of, err := encodeFrame(&frame{Op: opBye, From: e.owner, To: e.peer}, rt.forceGob); err == nil {
-				e.enqueue(of)
-			}
+	rt.eachEnd(func(e *end) {
+		if of, err := encodeFrame(&frame{Op: opBye, From: e.owner, To: e.peer}, rt.forceGob); err == nil {
+			e.enqueue(of)
 		}
-	}
-	for _, id := range rt.local {
-		for _, e := range rt.ends[id] {
-			if e == nil {
-				continue
-			}
-			select {
-			case <-e.bye:
-			case <-time.After(time.Until(deadline)):
-				return // peer vanished after our work was done: not our failure
-			}
+	})
+	timedOut := false
+	rt.eachEnd(func(e *end) {
+		if timedOut {
+			return
 		}
+		select {
+		case <-e.bye:
+		case <-time.After(time.Until(deadline)):
+			timedOut = true // peer vanished after our work was done: not our failure
+		}
+	})
+	if timedOut {
+		return
 	}
 	// Let the last queued replies drain before tearing the sockets down.
-	for _, id := range rt.local {
-		for _, e := range rt.ends[id] {
-			for e != nil && !e.flushed() && time.Now().Before(deadline) {
-				time.Sleep(time.Millisecond)
-			}
+	rt.eachEnd(func(e *end) {
+		for !e.flushed() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
 		}
-	}
+	})
 }
 
 // Close tears down every socket and listener. Safe to call more than once;
@@ -1104,10 +1397,12 @@ func (rt *Runtime) Close() {
 		if rt.ends[id] == nil {
 			continue
 		}
-		for _, e := range rt.ends[id] {
-			if e != nil {
-				e.closeQueue()
-				e.conn.Close()
+		for _, lanes := range rt.ends[id] {
+			for _, e := range lanes {
+				if e != nil {
+					e.closeQueue()
+					e.conn.Close()
+				}
 			}
 		}
 	}
@@ -1130,6 +1425,13 @@ func (rt *Runtime) failLocked(err error) {
 		delete(rt.calls, id)
 		close(st.done)
 	}
+	rt.regMu.Lock()
+	for id, rc := range rt.regCalls {
+		rc.err = err
+		delete(rt.regCalls, id)
+		close(rc.done)
+	}
+	rt.regMu.Unlock()
 }
 
 // shuttingDown reports whether socket errors are expected (orderly exit).

@@ -17,8 +17,19 @@ type tmsg struct {
 
 func (m tmsg) Size() int { return 8 + len(m.S) }
 
+// tbulk is a bulk-classed test message: it rides the bulk lane on a
+// multiplexed mesh, exactly like a page or diff payload.
+type tbulk struct {
+	N    int
+	Data []byte
+}
+
+func (m tbulk) Size() int { return 8 + len(m.Data) }
+
 func init() {
 	transport.MustRegisterCodec(transport.Codec{Name: "tcptest.tmsg", Msg: tmsg{}})
+	transport.MustRegisterCodec(transport.Codec{Name: "tcptest.tbulk", Msg: tbulk{},
+		Class: transport.ClassBulk})
 }
 
 // mesh builds an in-process runtime hosting all n nodes.
@@ -153,6 +164,98 @@ func TestPeerDisconnectMidMulticall(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("caller deadlocked after peer disconnect")
 	}
+}
+
+// laneOrderRun sends nbulk slow bulk calls followed by one control ping
+// (all in one overlapped Multicall) and reports how many bulk calls the
+// receiver had finished when the ping's handler ran. Sender and receiver
+// are separate endpoints — separate state locks — so the receiver's slow
+// handlers cannot stall the sender's enqueues, and each bulk handler burns
+// real time while holding the receiver's state lock. On a single shared
+// connection the ping — behind every bulk frame in the socket — can only
+// run after all of them; on a multiplexed mesh it arrives on the control
+// lane and overtakes the queued bulk dispatches.
+func laneOrderRun(t *testing.T, lanes, nbulk int) int {
+	t.Helper()
+	addrs := reserveAddrs(t, 2)
+	senderReady := make(chan *Runtime, 1)
+	go func() {
+		rt, err := New(Options{Procs: 2, Lanes: lanes, Local: []int{0}, Addrs: addrs,
+			DialTimeout: 10 * time.Second})
+		if err != nil {
+			t.Error(err)
+			rt = nil
+		}
+		senderReady <- rt
+	}()
+	recv, err := New(Options{Procs: 2, Lanes: lanes, Local: []int{1}, Addrs: addrs,
+		DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := <-senderReady
+	if sender == nil {
+		t.Fatal("sender endpoint failed to come up")
+	}
+
+	var handled atomic.Int64
+	var atPing atomic.Int64
+	recv.Register(1, func(c transport.Call, from int, m transport.Msg) {
+		switch r := m.(type) {
+		case tbulk:
+			// The delay holds the state lock across the sleep, like a real
+			// handler serving a large payload does (a sleep rather than a
+			// busy-wait so the control readLoop gets CPU on small boxes).
+			time.Sleep(2 * time.Millisecond)
+			handled.Add(1)
+			c.Reply(tbulk{N: r.N})
+		case tmsg:
+			atPing.Store(handled.Load())
+			c.Reply(r)
+		}
+	})
+	recv.Spawn(1, "n1", func(p transport.Proc) {})
+	recvErr := make(chan error, 1)
+	go func() { recvErr <- recv.Run() }()
+
+	sender.Register(0, func(c transport.Call, from int, m transport.Msg) { c.Reply(m) })
+	sender.Spawn(0, "n0", func(p transport.Proc) {
+		targets := make([]transport.Target, 0, nbulk+1)
+		for i := 0; i < nbulk; i++ {
+			targets = append(targets, transport.Target{To: 1, M: tbulk{N: i, Data: make([]byte, 8192)}})
+		}
+		targets = append(targets, transport.Target{To: 1, M: tmsg{N: -1, S: "ping"}})
+		sender.Multicall(p, targets)
+	})
+	if err := sender.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-recvErr; err != nil {
+		t.Fatal(err)
+	}
+	return int(atPing.Load())
+}
+
+// TestControlLaneOvertakesBulk pins the lane ordering contract the barrier
+// hot path depends on: a latency-critical control message (a barRelease,
+// an ownership grant) enqueued after a burst of bulk payloads must not
+// wait for the whole burst to drain. On the single-lane mesh the ping is
+// FIFO behind every bulk frame (exactly nbulk handled first — that
+// direction is deterministic); with the control lane present it must
+// overtake most of the burst.
+func TestControlLaneOvertakesBulk(t *testing.T) {
+	const nbulk = 20
+	single := laneOrderRun(t, 1, nbulk)
+	if single != nbulk {
+		t.Errorf("single lane: ping handled after %d/%d bulk calls, want strict FIFO (%d)",
+			single, nbulk, nbulk)
+	}
+	multi := laneOrderRun(t, 2, nbulk)
+	if multi > nbulk/2 {
+		t.Errorf("control lane: ping handled after %d/%d bulk calls, expected it to overtake the burst",
+			multi, nbulk)
+	}
+	t.Logf("ping overtook at %d/%d bulk handled (single lane: %d/%d)", multi, nbulk, single, nbulk)
 }
 
 // reserveAddrs picks n free loopback ports.

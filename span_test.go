@@ -2,6 +2,7 @@ package adsm_test
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -397,7 +398,7 @@ func TestSpanVsPerWordEquivalence(t *testing.T) {
 				}
 				switch {
 				case tr == adsm.SimTransport:
-					if fastRep.Stats != slowRep.Stats {
+					if !reflect.DeepEqual(fastRep.Stats, slowRep.Stats) {
 						t.Errorf("protocol counters diverged:\nfast:     %+v\nper-word: %+v",
 							fastRep.Stats, slowRep.Stats)
 					}

@@ -106,6 +106,21 @@ type TCPConfig struct {
 	// exercises the fallback path end to end. Results are identical
 	// either way; only the framing cost changes.
 	ForceGob bool
+	// Lanes is the number of data connections per ordered node pair:
+	// 1 is the classic single shared connection, 2 (the default, chosen
+	// when this is 0) adds a dedicated bulk lane so large page and diff
+	// payloads never head-of-line block a latency-critical barrier
+	// release or ownership grant. Every participant of a multi-process
+	// run must use the same value.
+	Lanes int
+	// NoOneSided disables the one-sided region-read path. The zero value
+	// enables it: each pair gets one extra connection (the region lane)
+	// and clean page fetches are served straight from the peer's
+	// registered page-frame arena, bypassing the protocol handler and
+	// its state lock. Results are identical either way — a region miss
+	// falls back to the ordinary handler path. Every participant must
+	// use the same value.
+	NoOneSided bool
 }
 
 // RunFingerprint builds the canonical configuration fingerprint the CLIs
@@ -137,6 +152,8 @@ func (cfg Config) runtimeFactory() core.RuntimeFactory {
 			DialTimeout: tc.DialTimeout,
 			Fingerprint: tc.Fingerprint,
 			ForceGob:    tc.ForceGob,
+			Lanes:       tc.Lanes,
+			OneSided:    !tc.NoOneSided,
 		})
 		if err != nil {
 			panic(transportError{fmt.Errorf("adsm: tcp transport: %w", err)})
