@@ -169,6 +169,13 @@ func WithPerWordSpans(on bool) func(*Config) {
 	return func(c *Config) { c.PerWordSpans = on }
 }
 
+// WithOmitWrites returns a Config mutator toggling the omittable-write
+// pass — the serve sweep runs its write-heavy cell both ways to pin that
+// omission changes traffic, never results.
+func WithOmitWrites(on bool) func(*Config) {
+	return func(c *Config) { c.OmitWrites = on }
+}
+
 // PrefetchMode selects whether spans batch the page fetches of their
 // whole extent into one overlapped Multicall (span prefetch). The zero
 // value is on — prefetch is the default engine.
@@ -295,6 +302,14 @@ type Config struct {
 	// equivalence pin the adaptive tests rely on. Empty adapts freely;
 	// ignored by the static protocols.
 	AdaptiveFreeze string
+	// OmitWrites enables the omittable-write pass for policies that opt in
+	// (currently the MW family): a diff that never left its node and whose
+	// byte extent the node's next diff for the page fully covers is
+	// provably dead — every observer would overwrite it — so its payload
+	// is dropped, counted in Stats.OmittedWrites/OmittedBytes. Results are
+	// bit-identical either way (the serve sweep pins this); the knob
+	// defaults off so archived baselines keep their traffic numbers.
+	OmitWrites bool
 	// Transport selects the substrate carrying the protocol messages
 	// (default SimTransport, the deterministic simulator).
 	Transport Transport
@@ -352,6 +367,7 @@ func NewCluster(cfg Config) *Cluster {
 	p.PerWordSpans = cfg.PerWordSpans
 	p.AdaptiveFreeze = cfg.AdaptiveFreeze
 	p.SpanPrefetch = cfg.SpanPrefetch == PrefetchOn
+	p.OmitWrites = cfg.OmitWrites
 	p.Runtime = cfg.runtimeFactory()
 	cl := &Cluster{c: core.New(p), cfg: cfg}
 	if cfg.CollectDiffTimeline {
@@ -464,6 +480,8 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			OneSidedReads:     tot.OneSidedReads,
 			OneSidedFallbacks: tot.OneSidedFallbacks,
 			BatchedOwnReqs:    tot.BatchedOwnReqs,
+			OmittedWrites:     tot.OmittedWrites,
+			OmittedBytes:      tot.OmittedBytes,
 		},
 		Sharing: Sharing{
 			SharedPages:  ch.SharedPages,
@@ -530,6 +548,8 @@ type Stats struct {
 	OneSidedReads     int64 // page/span fetches served from a peer's region
 	OneSidedFallbacks int64 // region probes that fell back to the handler path
 	BatchedOwnReqs    int64 // ownership requests that rode a grouped grant batch
+	OmittedWrites     int64 // never-shipped diffs emptied by the omittable-write pass
+	OmittedBytes      int64 // payload bytes those diffs no longer carry
 
 	// Wire-efficiency counters, populated only by transports that report
 	// real framing costs (the TCP runtime; zero under the simulator).

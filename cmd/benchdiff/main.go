@@ -40,6 +40,16 @@ func pct(old, new int64) float64 {
 	return 100 * float64(new-old) / float64(old)
 }
 
+// serveKey names a serving cell; the variant distinguishes the base mix
+// from the write-heavy omit arm.
+func serveKey(c harness.BenchServeCell) string {
+	variant := c.Variant
+	if variant == "" {
+		variant = "base"
+	}
+	return "serve/" + c.Protocol + "/" + variant
+}
+
 func load(path string) (harness.BenchReport, error) {
 	var r harness.BenchReport
 	data, err := os.ReadFile(path)
@@ -88,6 +98,10 @@ func main() {
 		oldCells[c.App+"/"+c.Protocol+"/"+c.Home] = []metric{
 			{"virtual_us", c.VirtualUS, 0}, {"messages", c.Messages, 0}, {"data_bytes", c.DataBytes, 0}}
 	}
+	for _, c := range oldRep.ServeCells {
+		oldCells[serveKey(c)] = []metric{
+			{"virtual_us", c.VirtualUS, 0}, {"messages", c.Messages, 0}, {"data_bytes", c.DataBytes, 0}}
+	}
 	var cells []cell
 	seen := map[string]bool{}
 	addNew := func(key string, vus, msgs, bytes int64) {
@@ -107,6 +121,9 @@ func main() {
 	}
 	for _, c := range newRep.HomeCells {
 		addNew(c.App+"/"+c.Protocol+"/"+c.Home, c.VirtualUS, c.Messages, c.DataBytes)
+	}
+	for _, c := range newRep.ServeCells {
+		addNew(serveKey(c), c.VirtualUS, c.Messages, c.DataBytes)
 	}
 	var dropped []string
 	for key := range oldCells {

@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|span|prefetch|adapt|json]
+//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|span|prefetch|adapt|serve|json]
 //	         [-quick] [-procs N] [-protocols MW,HLRC] [-home static]
-//	         [-out FILE] [-fig3csv]
+//	         [-out FILE] [-fig3csv] [-tcp=false]
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, span, prefetch, adapt, json")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, span, prefetch, adapt, serve, json")
 	quick := flag.Bool("quick", false, "use reduced inputs (fast, for smoke testing)")
 	procs := flag.Int("procs", 8, "number of processors (the paper used 8)")
 	protocols := flag.String("protocols", "",
@@ -35,6 +35,8 @@ func main() {
 	prefetch := flag.Bool("prefetch", true,
 		"span-prefetch batching for every cell (false: the serial per-page engine; the prefetch experiment sweeps both)")
 	fig3csv := flag.Bool("fig3csv", false, "emit the Figure 3 timelines as CSV instead of the summary")
+	tcp := flag.Bool("tcp", true,
+		"run the serve experiment's cells on the real TCP mesh as well as the simulator (false: sim only)")
 	flag.Parse()
 
 	m := harness.NewMatrix(*quick)
@@ -99,6 +101,8 @@ func main() {
 		run(m.PrefetchSweep)
 	case "adapt":
 		run(m.AdaptSweep)
+	case "serve":
+		run(func() string { return m.ServeSweep(*tcp, harness.ServeOptions{}) })
 	case "json":
 		data, err := m.JSON()
 		if err != nil {

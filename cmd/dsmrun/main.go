@@ -59,6 +59,8 @@ func main() {
 		"data connections per node pair under -transport tcp: 1 (single shared) or 2 (control + bulk)")
 	oneSided := flag.Bool("onesided", true,
 		"serve clean page fetches one-sided from the peer's registered region (adds a region lane per pair)")
+	omit := flag.Bool("omit", false,
+		"empty provably-unobservable diffs before they ship (MW-family pages only; results are bit-identical)")
 	flag.Parse()
 
 	if *list {
@@ -97,6 +99,7 @@ func main() {
 
 	cfg := adsm.Config{Procs: *procs, Protocol: proto, HomePolicy: home, Transport: tr}
 	adsm.WithSpanPrefetch(*prefetch)(&cfg)
+	adsm.WithOmitWrites(*omit)(&cfg)
 	if tr == adsm.TCPTransport {
 		cfg.TCP.Timescale = *timescale
 		cfg.TCP.Fingerprint = adsm.RunFingerprint(*appName, proto, home, *procs, *quick)
@@ -188,6 +191,10 @@ func main() {
 	fmt.Printf("  twins/diffs          %d twins, %d diffs created (%.2f MB), %d applied\n",
 		s.TwinsCreated, s.DiffsCreated, rep.MemoryMB(), s.DiffsApplied)
 	fmt.Printf("  mode transitions     %d SW->MW, %d MW->SW\n", s.SWtoMW, s.MWtoSW)
+	if s.OmittedWrites > 0 {
+		fmt.Printf("  omitted writes       %d dominated diffs emptied (%d bytes never shipped)\n",
+			s.OmittedWrites, s.OmittedBytes)
+	}
 	fmt.Printf("  garbage collections  %d\n", s.GCRuns)
 	if s.HomeFlushes > 0 || s.HomeLocalDiffs > 0 || s.HomeBinds > 0 {
 		fmt.Printf("  home flushes         %d remote (%.2f MB), %d local diffs, %d binds\n",

@@ -49,7 +49,7 @@ func (n *Node) Barrier() {
 // another process under a multi-process transport); the two agree by
 // construction and the manager enforces it.
 func (n *Node) barrierRound(gcRound bool) {
-	mine := n.intervalsSince(n.lastGlobal)
+	mine := n.shipIntervals(n.lastGlobal)
 	resp := n.c.rt.Call(n.proc, 0, barArrive{
 		Epoch:       n.barEpoch,
 		KnownTS:     append([]int32(nil), n.knownTS...),
@@ -173,7 +173,7 @@ func (n *Node) serveBarrier(c transport.Call, from int, m barArrive) {
 	b.gcRound = doGC
 	for i, cc := range calls {
 		cc.Reply(barRelease{
-			Intervals: n.intervalsSince(knows[i]),
+			Intervals: n.shipIntervals(knows[i]),
 			Global:    global,
 			GC:        doGC,
 			Hints:     hints,

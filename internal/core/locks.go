@@ -100,7 +100,7 @@ var debugLockGrant func(n *Node, to int, know []int32, ivs []*Interval)
 // snapshot rather than a later clock keeps concurrent writes looking
 // concurrent, which the false-sharing detection depends on.)
 func (n *Node) grantLock(c transport.Call, requesterKnow []int32) {
-	ivs := n.intervalsSince(requesterKnow)
+	ivs := n.shipIntervals(requesterKnow)
 	if debugLockGrant != nil {
 		debugLockGrant(n, c.Origin(), requesterKnow, ivs)
 	}
@@ -135,7 +135,7 @@ func (n *Node) holderHandle(c transport.Call, lock int, know []int32) {
 		// Token is here and free (lockNone covers the manager-initial
 		// state reached via mgrLock bootstrapping).
 		st.state = lockNone
-		ivs := n.intervalsSince(know)
+		ivs := n.shipIntervals(know)
 		relVC := st.relVC
 		if relVC == nil {
 			relVC = vc.New(n.c.params.Procs)

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"adsm/internal/mem"
+)
+
+// --- covers: the run-extent coverage check ---
+
+func diffOf(runs ...[2]int) *mem.Diff {
+	d := &mem.Diff{Page: 0}
+	for _, r := range runs {
+		d.Runs = append(d.Runs, mem.Run{Off: r[0], Data: make([]byte, r[1])})
+	}
+	return d
+}
+
+func TestCoversRuns(t *testing.T) {
+	cases := []struct {
+		name         string
+		outer, inner *mem.Diff
+		want         bool
+	}{
+		{"identical", diffOf([2]int{0, 8}), diffOf([2]int{0, 8}), true},
+		{"outer wider", diffOf([2]int{0, 32}), diffOf([2]int{8, 8}), true},
+		{"inner empty", diffOf([2]int{0, 8}), diffOf(), true},
+		{"outer empty", diffOf(), diffOf([2]int{0, 8}), false},
+		{"inner past end", diffOf([2]int{0, 8}), diffOf([2]int{4, 8}), false},
+		{"inner before start", diffOf([2]int{8, 8}), diffOf([2]int{4, 8}), false},
+		{"straddles gap", diffOf([2]int{0, 8}, [2]int{16, 8}), diffOf([2]int{4, 16}), false},
+		{"two in one", diffOf([2]int{0, 64}), diffOf([2]int{0, 8}, [2]int{32, 8}), true},
+		{"each in own", diffOf([2]int{0, 16}, [2]int{32, 16}), diffOf([2]int{4, 4}, [2]int{36, 4}), true},
+		{"second uncovered", diffOf([2]int{0, 16}, [2]int{32, 16}), diffOf([2]int{4, 4}, [2]int{52, 4}), false},
+	}
+	for _, tc := range cases {
+		if got := covers(tc.outer, tc.inner); got != tc.want {
+			t.Errorf("%s: covers = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// --- the pass itself ---
+
+func omitParams(procs int, on bool) Params {
+	p := testParams(procs, MW)
+	p.OmitWrites = on
+	return p
+}
+
+// TestOmitWritesFires: a node that rewrites the same slots across two
+// lock-guarded intervals, with no peer acquiring the lock in between,
+// empties the first interval's diff — and peers still read the final
+// values afterwards.
+func TestOmitWritesFires(t *testing.T) {
+	const slots = 16
+	run := func(on bool) (omitted, bytes int64, vals [slots]uint64) {
+		c := New(omitParams(2, on))
+		base := c.AllocPageAligned(mem.PageSize)
+		var got [slots]uint64
+		mustRun(t, c, func(n *Node) {
+			if n.ID() == 1 {
+				// Writer: two intervals on the same slots, lock never
+				// leaves the node between them. Node 1 (not the page
+				// allocator) so the writes go through twins.
+				n.Acquire(1)
+				for i := 0; i < slots; i++ {
+					n.WriteU64(base+8*i, uint64(i+1))
+				}
+				n.Release(1)
+				n.Acquire(1)
+				for i := 0; i < slots; i++ {
+					n.WriteU64(base+8*i, uint64(i+100))
+				}
+				n.Release(1)
+			}
+			n.Barrier()
+			if n.ID() == 0 {
+				for i := 0; i < slots; i++ {
+					got[i] = n.ReadU64(base + 8*i)
+				}
+			}
+			n.Barrier()
+		})
+		w := c.Node(1)
+		return w.Stats.OmittedWrites, w.Stats.OmittedBytes, got
+	}
+
+	omitted, bytes, vals := run(true)
+	if omitted == 0 || bytes == 0 {
+		t.Fatalf("omit pass did not fire: omitted=%d bytes=%d", omitted, bytes)
+	}
+	offOmitted, _, offVals := run(false)
+	if offOmitted != 0 {
+		t.Fatalf("pass fired with OmitWrites off: %d", offOmitted)
+	}
+	if vals != offVals {
+		t.Fatalf("results differ with omission: %v vs %v", vals, offVals)
+	}
+	for i := 0; i < slots; i++ {
+		if vals[i] != uint64(i+100) {
+			t.Fatalf("slot %d = %d, want %d", i, vals[i], i+100)
+		}
+	}
+}
+
+// TestOmitShippedPredecessorSurvives: once the predecessor's write notice
+// has been shipped (a peer acquired the lock in between), its diff must
+// keep its payload — the peer may fetch it later.
+func TestOmitShippedPredecessorSurvives(t *testing.T) {
+	const slots = 16
+	c := New(omitParams(2, true))
+	base := c.AllocPageAligned(mem.PageSize)
+	var got [slots]uint64
+	mustRun(t, c, func(n *Node) {
+		if n.ID() == 1 {
+			n.Acquire(1)
+			for i := 0; i < slots; i++ {
+				n.WriteU64(base+8*i, uint64(i+1))
+			}
+			n.Release(1)
+		}
+		n.Barrier()
+		if n.ID() == 0 {
+			// Ship node 1's first interval by taking the lock.
+			n.Acquire(1)
+			n.Release(1)
+		}
+		n.Barrier()
+		if n.ID() == 1 {
+			n.Acquire(1)
+			for i := 0; i < slots; i++ {
+				n.WriteU64(base+8*i, uint64(i+100))
+			}
+			n.Release(1)
+		}
+		n.Barrier()
+		if n.ID() == 0 {
+			for i := 0; i < slots; i++ {
+				got[i] = n.ReadU64(base + 8*i)
+			}
+		}
+		n.Barrier()
+	})
+	// The barrier between the two writes shipped interval 1, so the second
+	// close must not empty its diff.
+	if om := c.Node(1).Stats.OmittedWrites; om != 0 {
+		t.Fatalf("omitted a shipped predecessor: %d", om)
+	}
+	for i := 0; i < slots; i++ {
+		if got[i] != uint64(i+100) {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], i+100)
+		}
+	}
+}
+
+// TestOmitPartialOverwriteKept: a successor that rewrites only part of the
+// predecessor's extent must leave the predecessor intact, and readers see
+// the merge of both intervals.
+func TestOmitPartialOverwriteKept(t *testing.T) {
+	const slots = 16
+	c := New(omitParams(2, true))
+	base := c.AllocPageAligned(mem.PageSize)
+	var got [slots]uint64
+	mustRun(t, c, func(n *Node) {
+		if n.ID() == 1 {
+			n.Acquire(1)
+			for i := 0; i < slots; i++ {
+				n.WriteU64(base+8*i, uint64(i+1))
+			}
+			n.Release(1)
+			n.Acquire(1)
+			// Rewrite only the first half: the predecessor's second half
+			// remains live data.
+			for i := 0; i < slots/2; i++ {
+				n.WriteU64(base+8*i, uint64(i+100))
+			}
+			n.Release(1)
+		}
+		n.Barrier()
+		if n.ID() == 0 {
+			for i := 0; i < slots; i++ {
+				got[i] = n.ReadU64(base + 8*i)
+			}
+		}
+		n.Barrier()
+	})
+	if om := c.Node(1).Stats.OmittedWrites; om != 0 {
+		t.Fatalf("omitted a partially-overwritten predecessor: %d", om)
+	}
+	for i := 0; i < slots; i++ {
+		want := uint64(i + 1)
+		if i < slots/2 {
+			want = uint64(i + 100)
+		}
+		if got[i] != want {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestOmitChainCollapses: three rewrites of the same slots in a row empty
+// both predecessors (the successor of an emptied diff covers it in turn).
+func TestOmitChainCollapses(t *testing.T) {
+	const slots = 8
+	c := New(omitParams(2, true))
+	base := c.AllocPageAligned(mem.PageSize)
+	var got [slots]uint64
+	mustRun(t, c, func(n *Node) {
+		if n.ID() == 1 {
+			for round := 0; round < 3; round++ {
+				n.Acquire(1)
+				for i := 0; i < slots; i++ {
+					n.WriteU64(base+8*i, uint64(1000*round+i+1))
+				}
+				n.Release(1)
+			}
+		}
+		n.Barrier()
+		if n.ID() == 0 {
+			for i := 0; i < slots; i++ {
+				got[i] = n.ReadU64(base + 8*i)
+			}
+		}
+		n.Barrier()
+	})
+	if om := c.Node(1).Stats.OmittedWrites; om != 2 {
+		t.Fatalf("chain: omitted %d predecessors, want 2", om)
+	}
+	for i := 0; i < slots; i++ {
+		if got[i] != uint64(2000+i+1) {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], 2000+i+1)
+		}
+	}
+}

@@ -33,10 +33,11 @@ type Matrix struct {
 	// reproduce the serial engine's numbers (the pre-batching baseline).
 	Prefetch adsm.PrefetchMode
 
-	mu  sync.Mutex
-	seq map[string]*runResult
-	par map[string]*runResult
-	pre map[string]*runResult
+	mu    sync.Mutex
+	seq   map[string]*runResult
+	par   map[string]*runResult
+	pre   map[string]*runResult
+	serve map[string]ServeCell
 }
 
 type runResult struct {

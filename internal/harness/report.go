@@ -81,6 +81,31 @@ type BenchPrefetchCell struct {
 	OffWireBytes int64 `json:"off_wire_bytes,omitempty"`
 }
 
+// BenchServeCell is one protocol's serving measurement: the zipfian
+// key-value workload on the simulator (sim-only, like the other archived
+// cells, so the numbers are deterministic; `dsmbench -exp serve` adds the
+// wall-clock tcp columns). Latencies are virtual microseconds from the
+// merged per-op histogram; Checksum is the model-verified final-table
+// checksum, identical across every protocol and transport by
+// construction.
+type BenchServeCell struct {
+	Protocol  string `json:"protocol"`
+	Variant   string `json:"variant,omitempty"`
+	VirtualUS int64  `json:"virtual_us"`
+	Ops       int64  `json:"ops"`
+	Messages  int64  `json:"messages"`
+	DataBytes int64  `json:"data_bytes"`
+	MeanUS    int64  `json:"mean_us"`
+	P50US     int64  `json:"p50_us"`
+	P95US     int64  `json:"p95_us"`
+	P99US     int64  `json:"p99_us"`
+	Checksum  uint64 `json:"checksum"`
+
+	PolicySwitches int64 `json:"policy_switches,omitempty"`
+	OmittedWrites  int64 `json:"omitted_writes,omitempty"`
+	OmittedBytes   int64 `json:"omitted_bytes,omitempty"`
+}
+
 // BenchReport is the full matrix measurement. Home records the default
 // home policy the main Cells ran under (the home sweep in HomeCells
 // varies it per cell); comparison tools use it to reject apples-to-
@@ -95,6 +120,7 @@ type BenchReport struct {
 	Cells      []BenchCell         `json:"cells"`
 	HomeCells  []BenchHomeCell     `json:"home_cells"`
 	Prefetch   []BenchPrefetchCell `json:"prefetch_cells"`
+	ServeCells []BenchServeCell    `json:"serve_cells"`
 }
 
 // BenchReport runs (or reuses) the matrix and assembles the report.
@@ -159,6 +185,25 @@ func (m *Matrix) BenchReport() BenchReport {
 			HomeFlushBytes: s.HomeFlushBytes,
 			HomeLocalDiffs: s.HomeLocalDiffs,
 			HomeBinds:      s.HomeBinds,
+		})
+	}
+	for _, cell := range m.ServeSweepData(false, ServeOptions{}) {
+		s := cell.Report.Stats
+		r.ServeCells = append(r.ServeCells, BenchServeCell{
+			Protocol:       cell.Proto.String(),
+			Variant:        cell.Variant,
+			VirtualUS:      cell.Elapsed.Microseconds(),
+			Ops:            cell.Ops,
+			Messages:       s.Messages,
+			DataBytes:      s.DataBytes,
+			MeanUS:         cell.Mean.Microseconds(),
+			P50US:          cell.P50.Microseconds(),
+			P95US:          cell.P95.Microseconds(),
+			P99US:          cell.P99.Microseconds(),
+			Checksum:       cell.Checksum,
+			PolicySwitches: s.PolicySwitches,
+			OmittedWrites:  s.OmittedWrites,
+			OmittedBytes:   s.OmittedBytes,
 		})
 	}
 	return r

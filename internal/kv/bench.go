@@ -1,0 +1,99 @@
+package kv
+
+import (
+	"sync"
+	"time"
+
+	"adsm"
+	"adsm/internal/stats"
+)
+
+// Bench drives one serving run: a Table under a zipfian Workload, with
+// per-operation latencies recorded into a mergeable histogram. One Bench
+// serves exactly one cluster run, mirroring the internal/apps App shape
+// (Setup allocates, Body is the SPMD program, results read afterwards).
+type Bench struct {
+	WL       Workload
+	LockBase int // first lock id for table stripes (default 0)
+
+	table *Table
+
+	mu       sync.Mutex
+	hist     stats.Hist
+	ops      int64
+	checksum uint64
+	summed   bool
+}
+
+// NewBench builds a bench for wl.
+func NewBench(wl Workload) *Bench { return &Bench{WL: wl} }
+
+// Table exposes the underlying table (valid after Setup).
+func (b *Bench) Table() *Table { return b.table }
+
+// Setup allocates the shared table. Must run before the cluster does.
+func (b *Bench) Setup(cl *adsm.Cluster) {
+	b.table = New(cl, b.WL.Keys, b.LockBase)
+}
+
+// Body is the SPMD serving loop. Operation j of each worker is scheduled
+// at virtual time j*Interval (open loop): the worker idles to the arrival
+// when it is early, and a late operation's latency includes its queueing
+// delay, exactly like a load generator with a fixed arrival schedule.
+// With Interval zero the loop is closed (issue immediately, latency is
+// pure service time) — the mode the wall-clock tcp cells use.
+//
+// After the final barrier worker 0 computes the table checksum; workers
+// merge their latency histograms into the bench under a host lock (host
+// state, not shared memory — the histogram is measurement, not workload).
+func (b *Bench) Body(w *adsm.Worker) {
+	sched := b.WL.Schedule(w.ID(), w.Procs())
+	interval := b.WL.Interval
+	var h stats.Hist
+	w.Barrier()
+	for j := range sched {
+		op := &sched[j]
+		start := w.Now()
+		if interval > 0 {
+			arrival := time.Duration(j) * interval
+			if start < arrival {
+				w.Compute(arrival - start)
+			}
+			start = arrival
+		}
+		switch op.Kind {
+		case OpGet:
+			b.table.Get(w, op.Key)
+		case OpPut:
+			b.table.Put(w, op.Key, op.Val)
+		case OpDelete:
+			b.table.Delete(w, op.Key)
+		}
+		h.Record(int64(w.Now() - start))
+	}
+	w.Barrier()
+	if w.ID() == 0 {
+		sum := b.table.Checksum(w)
+		b.mu.Lock()
+		b.checksum = sum
+		b.summed = true
+		b.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.hist.Merge(&h)
+	b.ops += int64(len(sched))
+	b.mu.Unlock()
+	w.Barrier()
+}
+
+// Hist returns the merged per-op latency histogram (valid after the run).
+func (b *Bench) Hist() *stats.Hist { return &b.hist }
+
+// Ops returns the number of operations recorded by the workers this
+// process hosted.
+func (b *Bench) Ops() int64 { return b.ops }
+
+// Checksum returns the final-table checksum and whether this process
+// computed it (only the process hosting worker 0 does, under multi-
+// process transports).
+func (b *Bench) Checksum() (uint64, bool) { return b.checksum, b.summed }

@@ -1,0 +1,206 @@
+package kv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// zipfGen draws zipfian-distributed keys in [0, n) with skew theta in
+// [0, 1), using the Gray et al. closed form (the YCSB generator).
+// math/rand's Zipf requires s > 1 and cannot express the classic 0.99
+// serving skew, hence the hand-rolled version. All state is read-only
+// after construction; randomness comes from the caller's *rand.Rand, so
+// two generators over the same stream produce the same keys.
+type zipfGen struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+func newZipf(n uint64, theta float64) *zipfGen {
+	if n == 0 || theta < 0 || theta >= 1 {
+		panic(fmt.Sprintf("kv: zipf(n=%d, theta=%g) out of range", n, theta))
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return &zipfGen{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+	}
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// OpKind is one operation type in a schedule.
+type OpKind uint8
+
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+)
+
+// Op is one scheduled operation, fully determined at schedule time
+// (including the Put payload), so the host-side model replay and the DSM
+// execution consume byte-identical streams.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  Value
+}
+
+// Workload describes a seeded zipfian serving run. The zero value is not
+// runnable; start from DefaultWorkload.
+type Workload struct {
+	Keys         int     // key space [0, Keys)
+	OpsPerWorker int     // operations each worker performs
+	ReadPct      int     // percentage of Gets
+	DeletePct    int     // percentage of Deletes (rest are Puts)
+	Theta        float64 // zipfian skew (0 uniform .. 0.99 classic serving skew)
+	Seed         int64   // generator seed; same seed => bit-identical schedules
+	// Interval is the open-loop arrival spacing per worker: operation j is
+	// scheduled at virtual time j*Interval. Zero means closed-loop (issue
+	// as fast as the store allows) — the tcp cells always run closed-loop,
+	// since real wall clocks cannot be paused to an arrival schedule.
+	Interval time.Duration
+}
+
+// DefaultWorkload is the serve sweep's base cell: skewed 90/10 read/write
+// over 4k keys.
+func DefaultWorkload() Workload {
+	return Workload{
+		Keys:         4096,
+		OpsPerWorker: 2000,
+		ReadPct:      90,
+		DeletePct:    2,
+		Theta:        0.99,
+		Seed:         1,
+		// Near capacity but stable: per-worker service time under the
+		// simulator's cost model is ~1.4ms, so 2ms arrivals leave the tail
+		// dominated by contention bursts, not by a queueing ramp.
+		Interval: 2 * time.Millisecond,
+	}
+}
+
+func (wl Workload) validate(procs int) error {
+	if wl.Keys < 2*procs {
+		return fmt.Errorf("kv: Keys=%d too small for %d workers (need >= %d)", wl.Keys, procs, 2*procs)
+	}
+	if wl.OpsPerWorker <= 0 {
+		return fmt.Errorf("kv: OpsPerWorker=%d", wl.OpsPerWorker)
+	}
+	if wl.ReadPct < 0 || wl.DeletePct < 0 || wl.ReadPct+wl.DeletePct > 100 {
+		return fmt.Errorf("kv: mix read=%d%% delete=%d%% invalid", wl.ReadPct, wl.DeletePct)
+	}
+	if wl.Theta < 0 || wl.Theta >= 1 {
+		return fmt.Errorf("kv: Theta=%g out of [0,1)", wl.Theta)
+	}
+	return nil
+}
+
+// ownKey remaps a zipfian draw to the nearest key owned by worker id
+// (keys are owned round-robin: key k belongs to worker k%procs). All
+// mutations go through the owner remap, so each key has exactly one
+// writer and the final table contents are a pure function of the
+// schedules — independent of how the workers' lock acquisitions
+// interleave, which is what lets one deterministic checksum pin sim
+// against tcp. Reads draw from the full key range.
+func ownKey(k uint64, id, procs, keys int) uint64 {
+	k2 := k - k%uint64(procs) + uint64(id)
+	if k2 >= uint64(keys) {
+		k2 -= uint64(procs)
+	}
+	return k2
+}
+
+// Schedule builds worker id's operation stream: a pure function of
+// (workload, id, procs). Each worker draws from its own generator, so
+// streams are independent of the cluster's execution order.
+func (wl Workload) Schedule(id, procs int) []Op {
+	if err := wl.validate(procs); err != nil {
+		panic(err)
+	}
+	r := rand.New(rand.NewSource(int64(splitmix64(uint64(wl.Seed)*31 + uint64(id)))))
+	z := newZipf(uint64(wl.Keys), wl.Theta)
+	ops := make([]Op, wl.OpsPerWorker)
+	for j := range ops {
+		k := z.next(r)
+		switch c := r.Intn(100); {
+		case c < wl.ReadPct:
+			ops[j] = Op{Kind: OpGet, Key: k}
+		case c < wl.ReadPct+wl.DeletePct:
+			ops[j] = Op{Kind: OpDelete, Key: ownKey(k, id, procs, wl.Keys)}
+		default:
+			key := ownKey(k, id, procs, wl.Keys)
+			ops[j] = Op{Kind: OpPut, Key: key, Val: putValue(key, id, j)}
+		}
+	}
+	return ops
+}
+
+// putValue derives operation j's payload from (key, worker, op index):
+// deterministic for the model replay, and distinct across successive
+// writes of the same key so in-place overwrites produce real diffs.
+func putValue(key uint64, id, j int) Value {
+	var v Value
+	base := splitmix64(key ^ uint64(id)<<32 ^ uint64(j))
+	for w := range v {
+		v[w] = splitmix64(base + uint64(w))
+	}
+	return v
+}
+
+// ExpectedChecksum replays every worker's schedule against a host map and
+// folds the surviving records with the table's checksum mix — the oracle
+// the DSM runs must match. The replay needs no interleaving: mutations
+// are owner-partitioned by key, so each key's history is one worker's
+// program order.
+func (wl Workload) ExpectedChecksum(procs int) uint64 {
+	m := make(map[uint64]Value)
+	for id := 0; id < procs; id++ {
+		for _, op := range wl.Schedule(id, procs) {
+			switch op.Kind {
+			case OpPut:
+				m[op.Key] = op.Val
+			case OpDelete:
+				delete(m, op.Key)
+			}
+		}
+	}
+	var sum uint64
+	for k, v := range m {
+		sum += slotMix(k, v)
+	}
+	return sum
+}

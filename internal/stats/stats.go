@@ -63,6 +63,13 @@ type Node struct {
 	OneSidedReads     int64 // page/span fetches served from a peer's region
 	OneSidedFallbacks int64 // region probes that fell back to the handler path
 	BatchedOwnReqs    int64 // ownership requests that rode an ownBatchReq
+
+	// Omittable writes (NWR's Thomas-write-rule pass, Params.OmitWrites):
+	// blind-write diffs whose byte extent is covered by the same node's
+	// next diff before the earlier write notice ever left the node, so the
+	// earlier diff's payload is provably dead and dropped.
+	OmittedWrites int64 // predecessor diffs emptied by the omit pass
+	OmittedBytes  int64 // payload bytes those diffs no longer carry
 }
 
 // NoteLive updates the high-water mark after a change to the live pools.
@@ -108,6 +115,8 @@ func (s *Node) Add(o *Node) {
 	s.OneSidedReads += o.OneSidedReads
 	s.OneSidedFallbacks += o.OneSidedFallbacks
 	s.BatchedOwnReqs += o.BatchedOwnReqs
+	s.OmittedWrites += o.OmittedWrites
+	s.OmittedBytes += o.OmittedBytes
 }
 
 // Sum aggregates a slice of per-node stats into one total.

@@ -119,19 +119,27 @@ func (s Shared[T]) Set(w *Worker, i int, v T) {
 	mem.StoreElem(b, off, v)
 }
 
-// AddLocked adds d to element i under the named lock and returns the new
-// value. The lock both serializes concurrent adders and (by lazy release
-// consistency) makes their updates visible, so concurrent AddLocked calls
-// with the same lockID never lose an update — the safe form of the
-// read-modify-write that a bare At/Set pair gets wrong under contention.
-// All accesses to the element must use the same lock for the guarantee to
-// hold.
-func (s Shared[T]) AddLocked(w *Worker, lockID, i int, d T) T {
+// UpdateLocked applies fn to element i under the named lock and returns
+// the value it stored. The lock both serializes concurrent updaters and
+// (by lazy release consistency) makes their updates visible, so concurrent
+// UpdateLocked calls with the same lockID never lose an update — the safe
+// form of the read-modify-write that a bare At/Set pair gets wrong under
+// contention. All accesses to the element must use the same lock for the
+// guarantee to hold. fn runs inside the critical section; it must not
+// acquire locks or touch other contended shared state.
+func (s Shared[T]) UpdateLocked(w *Worker, lockID, i int, fn func(T) T) T {
+	s.check(i)
 	w.Lock(lockID)
-	v := s.At(w, i) + d
+	v := fn(s.At(w, i))
 	s.Set(w, i, v)
 	w.Unlock(lockID)
 	return v
+}
+
+// AddLocked adds d to element i under the named lock and returns the new
+// value: UpdateLocked specialized to the counter idiom.
+func (s Shared[T]) AddLocked(w *Worker, lockID, i int, d T) T {
+	return s.UpdateLocked(w, lockID, i, func(v T) T { return v + d })
 }
 
 // ReadAt copies len(dst) elements starting at element i into dst. The

@@ -234,6 +234,44 @@ func TestI64AddLocked(t *testing.T) {
 	}
 }
 
+// TestUpdateLocked: the generalized read-modify-write never loses an
+// update, and the order-insensitive fold (max) converges to the same value
+// on every worker under every protocol.
+func TestUpdateLocked(t *testing.T) {
+	for _, proto := range adsm.Protocols() {
+		t.Run(proto.String(), func(t *testing.T) {
+			cl := adsm.NewCluster(adsm.Config{Procs: 4, Protocol: proto})
+			arr := adsm.AllocArray[int64](cl, 8)
+			_, err := cl.Run(func(w *adsm.Worker) {
+				for i := 0; i < 10; i++ {
+					got := arr.UpdateLocked(w, 3, 2, func(v int64) int64 { return v + 1 })
+					if got < 1 {
+						t.Errorf("worker %d: UpdateLocked returned %d before any store", w.ID(), got)
+					}
+				}
+				want := int64(100 + w.ID())
+				arr.UpdateLocked(w, 4, 5, func(v int64) int64 {
+					if v > want {
+						return v
+					}
+					return want
+				})
+				w.Barrier()
+				if got := arr.At(w, 2); got != 40 {
+					t.Errorf("worker %d: counter = %d, want 40", w.ID(), got)
+				}
+				if got := arr.At(w, 5); got != 103 {
+					t.Errorf("worker %d: max = %d, want 103", w.ID(), got)
+				}
+				w.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestDeprecatedViewsBridge: the deprecated slice views and the typed API
 // observe the same memory.
 func TestDeprecatedViewsBridge(t *testing.T) {
