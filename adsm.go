@@ -315,6 +315,11 @@ type Config struct {
 	Transport Transport
 	// TCP tunes the TCP transport (ignored under SimTransport).
 	TCP TCPConfig
+
+	// ckptStores resolves each hosted rank's durable checkpoint store.
+	// Set by the recoverable drivers (recover.go), which own the stores
+	// across cluster incarnations; nil disables checkpointing.
+	ckptStores func(rank int) *core.CkptStore
 }
 
 // Cluster is a simulated DSM machine. Allocate shared memory with Alloc,
@@ -368,6 +373,7 @@ func NewCluster(cfg Config) *Cluster {
 	p.AdaptiveFreeze = cfg.AdaptiveFreeze
 	p.SpanPrefetch = cfg.SpanPrefetch == PrefetchOn
 	p.OmitWrites = cfg.OmitWrites
+	p.CkptStores = cfg.ckptStores
 	p.Runtime = cfg.runtimeFactory()
 	cl := &Cluster{c: core.New(p), cfg: cfg}
 	if cfg.CollectDiffTimeline {
@@ -417,6 +423,29 @@ func (cl *Cluster) Hosts(id int) bool { return cl.c.Hosts(id) }
 // node 0 (the barrier manager) observes this error; its peers see the
 // mesh tear down.
 var ErrGCUnsupported = core.ErrGCUnsupported
+
+// ErrPeerLost is returned (wrapped) by Run under the TCP transport when a
+// peer's connection breaks without the orderly bye that ends a healthy
+// run: the peer crashed or was killed. Match with errors.Is; recoverable
+// runs (RunRecoverable, dsmnode) rebuild the cluster and restore the last
+// checkpoint when they see it.
+var ErrPeerLost error = transport.ErrPeerLost{}
+
+// ErrLeaseExpired is returned (wrapped) by Run when membership leases are
+// on (TCPConfig.LeaseTerm) and a peer stopped answering heartbeats for a
+// full lease term: the process is wedged or partitioned and must be
+// treated as dead. Match with errors.Is.
+var ErrLeaseExpired error = transport.ErrLeaseExpired{}
+
+// ErrCkptCorrupt is returned (wrapped) by a recovering Run when a
+// checkpoint needed for recovery fails its per-page checksum: the replica
+// is damaged and recovery refuses to invent data. Match with errors.Is.
+var ErrCkptCorrupt = core.ErrCkptCorrupt
+
+// ErrCkptUnrecoverable is returned (wrapped) by a recovering Run when the
+// surviving checkpoint stores cannot cover every partition — more state
+// was lost than the single buddy replica tolerates. Match with errors.Is.
+var ErrCkptUnrecoverable = core.ErrCkptUnrecoverable
 
 // Run executes program on every processor and returns the report. A
 // cluster can run only once.
@@ -482,6 +511,8 @@ func (cl *Cluster) report(elapsed sim.Time) *Report {
 			BatchedOwnReqs:    tot.BatchedOwnReqs,
 			OmittedWrites:     tot.OmittedWrites,
 			OmittedBytes:      tot.OmittedBytes,
+			Checkpoints:       tot.Checkpoints,
+			Recoveries:        tot.Recoveries,
 		},
 		Sharing: Sharing{
 			SharedPages:  ch.SharedPages,
@@ -550,6 +581,8 @@ type Stats struct {
 	BatchedOwnReqs    int64 // ownership requests that rode a grouped grant batch
 	OmittedWrites     int64 // never-shipped diffs emptied by the omittable-write pass
 	OmittedBytes      int64 // payload bytes those diffs no longer carry
+	Checkpoints       int64 // barrier checkpoints committed (BarrierCkpt)
+	Recoveries        int64 // checkpoint recoveries completed (RecoverSync)
 
 	// Wire-efficiency counters, populated only by transports that report
 	// real framing costs (the TCP runtime; zero under the simulator).

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|span|prefetch|adapt|serve|json]
+//	dsmbench [-exp all|table1|table2|table3|table4|fig2|fig3|ablation|homes|span|prefetch|adapt|serve|faults|json]
 //	         [-quick] [-procs N] [-protocols MW,HLRC] [-home static]
 //	         [-out FILE] [-fig3csv] [-tcp=false]
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, span, prefetch, adapt, serve, json")
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig2, fig3, ablation, homes, span, prefetch, adapt, serve, faults, json")
 	quick := flag.Bool("quick", false, "use reduced inputs (fast, for smoke testing)")
 	procs := flag.Int("procs", 8, "number of processors (the paper used 8)")
 	protocols := flag.String("protocols", "",
@@ -36,7 +36,7 @@ func main() {
 		"span-prefetch batching for every cell (false: the serial per-page engine; the prefetch experiment sweeps both)")
 	fig3csv := flag.Bool("fig3csv", false, "emit the Figure 3 timelines as CSV instead of the summary")
 	tcp := flag.Bool("tcp", true,
-		"run the serve experiment's cells on the real TCP mesh as well as the simulator (false: sim only)")
+		"run the serve/faults experiments' cells on the real TCP mesh as well as the simulator (false: sim only)")
 	flag.Parse()
 
 	m := harness.NewMatrix(*quick)
@@ -103,6 +103,8 @@ func main() {
 		run(m.AdaptSweep)
 	case "serve":
 		run(func() string { return m.ServeSweep(*tcp, harness.ServeOptions{}) })
+	case "faults":
+		run(func() string { return m.FaultSweep(*tcp) })
 	case "json":
 		data, err := m.JSON()
 		if err != nil {

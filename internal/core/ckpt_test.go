@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"adsm/internal/mem"
+)
+
+// ckptTestRun executes a few checkpointed steps on fresh or surviving
+// stores: each node writes a distinct pattern into its partition's page
+// every step, with BarrierCkpt after each. recovering runs RecoverSync
+// first and resumes after the recovered step.
+func ckptTestRun(t *testing.T, procs int, stores []*CkptStore, steps int, recovering bool) error {
+	t.Helper()
+	p := testParams(procs, MW)
+	p.CkptStores = func(rank int) *CkptStore { return stores[rank] }
+	c := New(p)
+	base := c.AllocPageAligned(procs * mem.PageSize)
+	_, err := c.Run(func(n *Node) {
+		start := 0
+		if recovering {
+			start = int(n.RecoverSync()) + 1
+		}
+		for s := start; s < steps; s++ {
+			for i := 0; i < 16; i++ {
+				n.WriteU64(base+n.ID()*mem.PageSize+8*i, uint64(s*1000+n.ID()*100+i))
+			}
+			n.BarrierCkpt(int64(s))
+		}
+	})
+	return err
+}
+
+func freshStores(procs int) []*CkptStore {
+	out := make([]*CkptStore, procs)
+	for i := range out {
+		out[i] = NewCkptStore(i)
+	}
+	return out
+}
+
+// TestCkptCorruptionFailsLoudly damages a committed checkpoint page and
+// asserts recovery refuses it with the typed error instead of restoring
+// garbage.
+func TestCkptCorruptionFailsLoudly(t *testing.T) {
+	const procs = 3
+	stores := freshStores(procs)
+	if err := ckptTestRun(t, procs, stores, 3, false); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	if !stores[1].CorruptForTest(false) {
+		t.Fatal("no committed page to corrupt")
+	}
+	err := ckptTestRun(t, procs, stores, 3, true)
+	if !errors.Is(err, ErrCkptCorrupt) {
+		t.Fatalf("recovery from a corrupt checkpoint: err = %v, want ErrCkptCorrupt", err)
+	}
+}
+
+// TestCkptCorruptReplicaFailsLoudly is the buddy-side variant: the dead
+// rank's partition must come from its buddy's replica, and that replica
+// is damaged.
+func TestCkptCorruptReplicaFailsLoudly(t *testing.T) {
+	const procs = 3
+	stores := freshStores(procs)
+	if err := ckptTestRun(t, procs, stores, 3, false); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	// Rank 1 "dies" (store wiped); partition 1 now only exists as rank
+	// 2's replica — which we damage.
+	stores[1] = NewCkptStore(1)
+	if !stores[2].CorruptForTest(true) {
+		t.Fatal("no replica page to corrupt")
+	}
+	err := ckptTestRun(t, procs, stores, 3, true)
+	if !errors.Is(err, ErrCkptCorrupt) {
+		t.Fatalf("recovery from a corrupt replica: err = %v, want ErrCkptCorrupt", err)
+	}
+}
+
+// TestCkptDroppedBeyondReplicationFailsLoudly wipes a rank AND its ring
+// buddy: the rank's partition has no surviving provider and recovery must
+// say so rather than resurrect partial state.
+func TestCkptDroppedBeyondReplicationFailsLoudly(t *testing.T) {
+	const procs = 3
+	stores := freshStores(procs)
+	if err := ckptTestRun(t, procs, stores, 3, false); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	stores[1] = NewCkptStore(1)
+	stores[2] = NewCkptStore(2) // rank 1's buddy: partition 1 is now gone
+	err := ckptTestRun(t, procs, stores, 3, true)
+	if !errors.Is(err, ErrCkptUnrecoverable) {
+		t.Fatalf("recovery past the replication factor: err = %v, want ErrCkptUnrecoverable", err)
+	}
+}
+
+// TestCkptRecoverFromSurvivors is the positive control for the tests
+// above: wipe one rank and recovery completes from the buddy's replica.
+func TestCkptRecoverFromSurvivors(t *testing.T) {
+	const procs = 3
+	stores := freshStores(procs)
+	if err := ckptTestRun(t, procs, stores, 3, false); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	stores[1] = NewCkptStore(1)
+	if err := ckptTestRun(t, procs, stores, 5, true); err != nil {
+		t.Fatalf("recovery from survivors: %v", err)
+	}
+}
+
+// TestComputeRecovery pins the recovery decision procedure: newest
+// cluster-wide recoverable step, restorer election, and the impossible
+// states that must fail.
+func TestComputeRecovery(t *testing.T) {
+	inv := func(node int, oc, op, rc, rp int64) recArrive {
+		return recArrive{Node: node, OwnCommitted: oc, OwnPending: op, RepCommitted: rc, RepPending: rp}
+	}
+	t.Run("all committed", func(t *testing.T) {
+		step, restorer, err := computeRecovery([]recArrive{
+			inv(0, 4, -1, 4, -1), inv(1, 4, -1, 4, -1), inv(2, 4, -1, 4, -1),
+		}, 3)
+		if err != nil || step != 4 {
+			t.Fatalf("step=%d err=%v, want 4,nil", step, err)
+		}
+		for p, r := range restorer {
+			if r != p {
+				t.Errorf("partition %d restorer %d, want owner", p, r)
+			}
+		}
+	})
+	t.Run("pending counts as cover", func(t *testing.T) {
+		// Crash mid-commit: node 0 promoted step 5, others still have it
+		// staged. Step 5 is recoverable because a committed checkpoint
+		// proves every delta was delivered.
+		step, _, err := computeRecovery([]recArrive{
+			inv(0, 5, -1, 4, 5), inv(1, 4, 5, 4, 5), inv(2, 4, 5, 4, 5),
+		}, 3)
+		if err != nil || step != 5 {
+			t.Fatalf("step=%d err=%v, want 5,nil", step, err)
+		}
+	})
+	t.Run("wiped rank restored by buddy", func(t *testing.T) {
+		step, restorer, err := computeRecovery([]recArrive{
+			inv(0, 2, -1, 2, -1), inv(1, -1, -1, -1, -1), inv(2, 2, -1, 2, -1),
+		}, 3)
+		if err != nil || step != 2 {
+			t.Fatalf("step=%d err=%v, want 2,nil", step, err)
+		}
+		if restorer[1] != 2 {
+			t.Errorf("partition 1 restorer %d, want buddy 2", restorer[1])
+		}
+	})
+	t.Run("uncommitted pending discarded", func(t *testing.T) {
+		// Nothing committed anywhere: staged deltas may be partial
+		// (someone may never have shipped) — restart from scratch.
+		step, _, err := computeRecovery([]recArrive{
+			inv(0, -1, 0, -1, -1), inv(1, -1, -1, -1, 0),
+		}, 2)
+		if err != nil || step != -1 {
+			t.Fatalf("step=%d err=%v, want -1,nil", step, err)
+		}
+	})
+	t.Run("committed past coverage is fatal", func(t *testing.T) {
+		_, _, err := computeRecovery([]recArrive{
+			inv(0, 5, -1, -1, -1), inv(1, -1, -1, -1, -1), inv(2, -1, -1, -1, -1),
+		}, 3)
+		if !errors.Is(err, ErrCkptUnrecoverable) {
+			t.Fatalf("err=%v, want ErrCkptUnrecoverable", err)
+		}
+	})
+}
+
+// TestCkptSlotCumulative pins delta merging and checksum verification at
+// the slot level.
+func TestCkptSlotCumulative(t *testing.T) {
+	s := newCkptSlot()
+	pg := func(n int, fill byte) ckptPage {
+		d := []byte{fill, fill, fill}
+		return ckptPage{Page: n, Data: d, Proto: 0, Sum: ckptSum(d)}
+	}
+	s.pendingStep = 0
+	s.pending = []ckptPage{pg(1, 0xA), pg(2, 0xB)}
+	s.promote(0)
+	s.pendingStep = 2
+	s.pending = []ckptPage{pg(2, 0xC)} // page 2 rewritten, page 1 clean
+	got, err := s.cumulative(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Page != 1 || got[1].Page != 2 || got[1].Data[0] != 0xC {
+		t.Fatalf("cumulative(2) = %+v, want pages 1(A),2(C)", got)
+	}
+	// The committed-only view must not include the staged delta.
+	got, err = s.cumulative(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Data[0] != 0xB {
+		t.Fatalf("cumulative(0) = %+v, want pages 1(A),2(B)", got)
+	}
+	if _, err := s.cumulative(1); !errors.Is(err, ErrCkptUnrecoverable) {
+		t.Errorf("cumulative(uncovered step): err=%v, want ErrCkptUnrecoverable", err)
+	}
+	s.committed[1].Data[1] ^= 0xFF
+	if _, err := s.cumulative(2); !errors.Is(err, ErrCkptCorrupt) {
+		t.Errorf("cumulative with corrupt page: err=%v, want ErrCkptCorrupt", err)
+	}
+}

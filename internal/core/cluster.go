@@ -30,6 +30,7 @@ type Cluster struct {
 
 	locks map[int]*mgrLock
 	bar   barrierMgr
+	rec   recoverMgr
 
 	// Per-page policy delegation: one shared instance per protocol a page
 	// has been switched to (policies are stateless; pages hold pointers
@@ -274,6 +275,12 @@ func (n *Node) handle(call transport.Call, from int, m transport.Msg) {
 		n.serveBarrier(call, from, msg)
 	case homeBindReq:
 		n.c.homes.(homeBinder).serveBind(n, call, from, msg)
+	case ckptPut:
+		n.serveCkptPut(call, from, msg)
+	case recArrive:
+		n.serveRecArrive(call, from, msg)
+	case recProtoArrive:
+		n.serveRecProto(call, from, msg)
 	default:
 		panic(fmt.Sprintf("dsm: node %d received unknown message %T", n.id, m))
 	}

@@ -194,6 +194,12 @@ func init() {
 	self(ctl, "homeBindResp", homeBindResp{}, nil, nil)
 	self(ctl, "acqReq", acqReq{}, nil, nil)
 	self(ctl, "acqFwd", acqFwd{}, nil, nil)
+	self(bulk, "ckptPut", ckptPut{}, nil, nil)
+	self(ctl, "ckptAck", ckptAck{}, nil, nil)
+	self(ctl, "recArrive", recArrive{}, nil, nil)
+	self(ctl, "recRelease", recRelease{}, nil, nil)
+	self(ctl, "recProtoArrive", recProtoArrive{}, nil, nil)
+	self(ctl, "recProtoRelease", recProtoRelease{}, nil, nil)
 
 	transport.MustRegisterCodec(transport.Codec{
 		Name: "diffReq", Msg: diffReq{}, Wire: wireDiffReq{},

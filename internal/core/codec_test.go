@@ -113,6 +113,17 @@ func msgSamples() map[string][]transport.Msg {
 		"acqGrant":     {acqGrant{Intervals: sampleIntervals(), VC: sampleVC(), nprocs: nprocs}},
 		"barArrive": {barArrive{Epoch: 12, KnownTS: []int32{3, 1, 4, 1, 5, 9, 2, 6},
 			Intervals: sampleIntervals(), MemPressure: true, nprocs: nprocs}},
+		"ckptPut": {ckptPut{From: 1, Step: 4, Pages: []ckptPage{
+			{Page: 3, Data: mem.NewPage(), Proto: 0, Sum: 12345},
+			{Page: 7, Data: mem.NewPage(), Proto: 4, Sum: 99},
+		}}},
+		"ckptAck":    {ckptAck{}},
+		"recArrive":  {recArrive{Node: 2, OwnCommitted: 4, OwnPending: 5, RepCommitted: 4, RepPending: 5}},
+		"recRelease": {recRelease{Step: 4, Restorer: []int{0, 1, 2, 3}}},
+		"recProtoArrive": {recProtoArrive{Node: 1, Switches: []policySwitch{
+			{Page: 2, Proto: 4, Owner: 1, Version: 1}, {Page: 5, Proto: 0, Owner: 1, Version: 1}}}},
+		"recProtoRelease": {recProtoRelease{Switches: []policySwitch{
+			{Page: 2, Proto: 4, Owner: 1, Version: 1}}}},
 		"barRelease": {
 			barRelease{Intervals: sampleIntervals(), Global: []int32{3, 1, 4, 1, 5, 9, 2, 6},
 				GC: true, Hints: []gcHint{{Page: 1, Owner: 2, Version: 3}, {Page: 9, Owner: 0, Version: 1}},

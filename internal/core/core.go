@@ -109,6 +109,14 @@ type Params struct {
 	// sweep (Stats.OmittedWrites / OmittedBytes). See omit.go for the
 	// safety argument.
 	OmitWrites bool
+	// CkptStores enables barrier-epoch checkpoint replication (ckpt.go):
+	// it resolves the durable checkpoint store of each hosted rank. The
+	// stores belong to the driver and must outlive cluster incarnations —
+	// they carry the state recovery restores after a node loss. Nil (or
+	// returning nil for a rank) disables checkpointing for that rank; all
+	// participants of a run must agree on whether checkpointing is on,
+	// because BarrierCkpt adds a barrier round when it is.
+	CkptStores func(rank int) *CkptStore
 }
 
 // RuntimeFactory builds a transport runtime for a cluster. Factories that

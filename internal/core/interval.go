@@ -107,6 +107,9 @@ func (n *Node) closeInterval() *Interval {
 		n.invalidateRegion(pg, ps)
 		ps.applied.Join(ivc)
 		n.wroteSinceGC[pg] = true
+		if n.ckptDirty != nil {
+			n.ckptDirty[pg] = true
+		}
 		n.c.detector.noteWrite(wn)
 
 		// Ownership refusal aftermath: the refused owner keeps ownership
@@ -217,6 +220,11 @@ var debugIngest func(n *Node, wn *WriteNotice, skipped bool)
 // ingestWN processes one incoming write notice.
 func (n *Node) ingestWN(wn *WriteNotice) {
 	ps := n.pages[wn.Page]
+	if n.ckptDirty != nil {
+		// Checkpoint dirty tracking wants every page any node wrote since
+		// our last checkpoint, even notices our copy already subsumes.
+		n.ckptDirty[wn.Page] = true
+	}
 	if debugIngest != nil {
 		debugIngest(n, wn, wn.Int.VC.Leq(ps.applied))
 	}

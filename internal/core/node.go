@@ -86,6 +86,14 @@ type Node struct {
 	wroteSinceGC []bool
 	liveDiffs    int64 // diffs currently cached (created + received)
 
+	// Checkpointing (ckpt.go): the node's durable store (nil when
+	// checkpointing is off) and the cluster-dirty page set accumulated
+	// since the node's last checkpoint — its own writes plus every write
+	// notice it ingested, so at a barrier the union over partitions is
+	// the cluster's dirty set.
+	ckpt      *CkptStore
+	ckptDirty []bool
+
 	// lock state per lock id (only for locks this node has interacted with)
 	locks map[int]*nodeLock
 
@@ -157,6 +165,11 @@ func newNode(c *Cluster, id int) *Node {
 		wroteSinceGC: make([]bool, c.npages),
 		locks:        make(map[int]*nodeLock),
 		lastGlobal:   make([]int32, c.params.Procs),
+	}
+	if c.params.CkptStores != nil {
+		if n.ckpt = c.params.CkptStores(id); n.ckpt != nil {
+			n.ckptDirty = make([]bool, c.npages)
+		}
 	}
 	for i := range n.pages {
 		// Generic fields only; policy.InitPage runs at Run start (after

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"adsm"
+	"testing"
+)
+
+// TestFaultSweepSim: the sim cells of the fault sweep — checkpointing must
+// not change results (checksum equality between the plain and ckpt cells
+// is asserted inside FaultSweepData, which panics on mismatch) and must
+// actually commit checkpoints.
+func TestFaultSweepSim(t *testing.T) {
+	m := NewMatrix(true)
+	m.Protos = []adsm.Protocol{adsm.MW, adsm.HLRC} // keep the test fast
+	cells := m.FaultSweepData(false)
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (plain+ckpt per protocol)", len(cells))
+	}
+	for _, c := range cells {
+		if c.Transport != adsm.SimTransport {
+			t.Errorf("%v/%s: tcp cell in a sim-only sweep", c.Proto, c.Scenario)
+		}
+		switch c.Scenario {
+		case "plain":
+			if n := c.Report.Stats.Checkpoints; n != 0 {
+				t.Errorf("%v/plain: %d checkpoints, want 0", c.Proto, n)
+			}
+		case "ckpt":
+			if c.Report.Stats.Checkpoints == 0 {
+				t.Errorf("%v/ckpt: no checkpoints committed", c.Proto)
+			}
+		}
+	}
+}
+
+// TestFaultSweepKill runs one real TCP kill cell end to end: protocol MW,
+// a single mid-run kill, checksum verified against the sim oracle inside
+// the sweep.
+func TestFaultSweepKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns tcp meshes")
+	}
+	m := NewMatrix(true)
+	m.Procs = 4
+	m.Protos = []adsm.Protocol{adsm.MW}
+	cells := m.FaultSweepData(true)
+	recovered := false
+	for _, c := range cells {
+		if c.Transport == adsm.TCPTransport && c.Report.Stats.Recoveries > 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no tcp cell recovered from a kill")
+	}
+}

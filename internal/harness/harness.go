@@ -33,11 +33,12 @@ type Matrix struct {
 	// reproduce the serial engine's numbers (the pre-batching baseline).
 	Prefetch adsm.PrefetchMode
 
-	mu    sync.Mutex
-	seq   map[string]*runResult
-	par   map[string]*runResult
-	pre   map[string]*runResult
-	serve map[string]ServeCell
+	mu     sync.Mutex
+	seq    map[string]*runResult
+	par    map[string]*runResult
+	pre    map[string]*runResult
+	serve  map[string]ServeCell
+	faults map[string]FaultCell
 }
 
 type runResult struct {

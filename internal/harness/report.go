@@ -106,6 +106,22 @@ type BenchServeCell struct {
 	OmittedBytes   int64 `json:"omitted_bytes,omitempty"`
 }
 
+// BenchFaultCell is one protocol's fault-tolerance measurement: the
+// recoverable stencil on the simulator, without ("plain") and with
+// ("ckpt") barrier-checkpoint replication — the archived record of the
+// checkpoint overhead in virtual time, messages, and data volume. The
+// kill cells run on the TCP mesh with wall clocks and stay out of the
+// archive; `dsmbench -exp faults` runs them.
+type BenchFaultCell struct {
+	Protocol    string `json:"protocol"`
+	Scenario    string `json:"scenario"`
+	VirtualUS   int64  `json:"virtual_us"`
+	Messages    int64  `json:"messages"`
+	DataBytes   int64  `json:"data_bytes"`
+	Checkpoints int64  `json:"checkpoints,omitempty"`
+	Checksum    uint64 `json:"checksum"`
+}
+
 // BenchReport is the full matrix measurement. Home records the default
 // home policy the main Cells ran under (the home sweep in HomeCells
 // varies it per cell); comparison tools use it to reject apples-to-
@@ -121,6 +137,7 @@ type BenchReport struct {
 	HomeCells  []BenchHomeCell     `json:"home_cells"`
 	Prefetch   []BenchPrefetchCell `json:"prefetch_cells"`
 	ServeCells []BenchServeCell    `json:"serve_cells"`
+	FaultCells []BenchFaultCell    `json:"fault_cells"`
 }
 
 // BenchReport runs (or reuses) the matrix and assembles the report.
@@ -204,6 +221,18 @@ func (m *Matrix) BenchReport() BenchReport {
 			PolicySwitches: s.PolicySwitches,
 			OmittedWrites:  s.OmittedWrites,
 			OmittedBytes:   s.OmittedBytes,
+		})
+	}
+	for _, cell := range m.FaultSweepData(false) {
+		s := cell.Report.Stats
+		r.FaultCells = append(r.FaultCells, BenchFaultCell{
+			Protocol:    cell.Proto.String(),
+			Scenario:    cell.Scenario,
+			VirtualUS:   cell.Elapsed.Microseconds(),
+			Messages:    s.Messages,
+			DataBytes:   s.DataBytes,
+			Checkpoints: s.Checkpoints,
+			Checksum:    cell.Checksum,
 		})
 	}
 	return r

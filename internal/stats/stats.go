@@ -70,6 +70,11 @@ type Node struct {
 	// earlier diff's payload is provably dead and dropped.
 	OmittedWrites int64 // predecessor diffs emptied by the omit pass
 	OmittedBytes  int64 // payload bytes those diffs no longer carry
+
+	// Fault tolerance (ckpt.go): durable barrier checkpoints committed by
+	// this node and recoveries it participated in.
+	Checkpoints int64
+	Recoveries  int64
 }
 
 // NoteLive updates the high-water mark after a change to the live pools.
@@ -117,6 +122,8 @@ func (s *Node) Add(o *Node) {
 	s.BatchedOwnReqs += o.BatchedOwnReqs
 	s.OmittedWrites += o.OmittedWrites
 	s.OmittedBytes += o.OmittedBytes
+	s.Checkpoints += o.Checkpoints
+	s.Recoveries += o.Recoveries
 }
 
 // Sum aggregates a slice of per-node stats into one total.

@@ -1,0 +1,43 @@
+package transport
+
+import "fmt"
+
+// ErrPeerLost reports that a peer node crashed or vanished mid-run: its
+// connection broke without the orderly bye that ends a healthy run. It
+// surfaces through Runtime.Run wrapped with %w, so callers match it with
+// errors.Is(err, transport.ErrPeerLost{}) — Is matches by type, not by
+// node, because concurrent lane failures race to name the same dead peer.
+type ErrPeerLost struct {
+	// Node is the rank believed dead.
+	Node int
+}
+
+func (e ErrPeerLost) Error() string {
+	return fmt.Sprintf("peer node %d lost (connection broke before bye)", e.Node)
+}
+
+// Is matches any ErrPeerLost regardless of node, so a zero value works as
+// an errors.Is target.
+func (e ErrPeerLost) Is(target error) bool {
+	_, ok := target.(ErrPeerLost)
+	return ok
+}
+
+// ErrLeaseExpired reports that a peer stopped answering heartbeats for a
+// full lease term: the socket may still look open (a SIGSTOPed or wedged
+// process keeps its TCP window), but the membership lease has lapsed and
+// the peer must be treated as dead. Matches like ErrPeerLost: by type.
+type ErrLeaseExpired struct {
+	// Node is the rank whose lease lapsed.
+	Node int
+}
+
+func (e ErrLeaseExpired) Error() string {
+	return fmt.Sprintf("peer node %d lease expired (no frames within the lease term)", e.Node)
+}
+
+// Is matches any ErrLeaseExpired regardless of node.
+func (e ErrLeaseExpired) Is(target error) bool {
+	_, ok := target.(ErrLeaseExpired)
+	return ok
+}

@@ -73,6 +73,23 @@ type Options struct {
 	// silently-wrong multi-process run into a clear startup error. Empty
 	// fingerprints always match.
 	Fingerprint string
+	// Epoch is the membership epoch carried in the hello handshake. Every
+	// mesh incarnation has one; after a node loss the survivors re-mesh at
+	// epoch+1, so a stale process from the previous incarnation cannot
+	// rejoin by accident. Epoch -1 is the wildcard used by a recovering
+	// node (`dsmnode -recover`): it adopts whatever epoch the peers it
+	// meshes with are at.
+	Epoch int64
+	// LeaseTerm enables membership leases: every endpoint heartbeats each
+	// peer on the control lane every LeaseTerm/3 and declares a peer dead
+	// (transport.ErrLeaseExpired) when no frame at all arrives from it for
+	// a full term. Zero disables heartbeats and lease monitoring (the
+	// default — loss is then detected only by connection errors). Every
+	// participant must use the same value; the handshake enforces it.
+	LeaseTerm time.Duration
+	// Faults, when non-nil, perturbs outgoing frames (drop/delay) for
+	// fault-injection tests. See FaultInjector.
+	Faults FaultInjector
 	// ForceGob carries every message in the gob escape frame instead of
 	// its binary codec — the debugging/CI knob that exercises the fallback
 	// path end to end. Mixed meshes interoperate (the body kind is per
@@ -86,6 +103,7 @@ const (
 	opCall             // a request (fresh or forwarded)
 	opReply            // the answer travelling back to the call's origin
 	opBye              // orderly shutdown: this endpoint's bodies finished
+	opPing             // control-lane heartbeat refreshing the peer's lease
 )
 
 // lane indices. The control lane always exists; the bulk lane exists when
@@ -101,7 +119,7 @@ const (
 	bodyBinary        // hand-rolled binary codec; header names it by wire id
 	bodyGob           // the escape op: gob of the message's wire value
 	bodyErr           // a transport-level failure string (error reply)
-	bodyHello         // handshake: fingerprint tag + codec digest + error
+	bodyHello         // handshake: tag + codec digest + epoch + lease + error
 )
 
 // The unit on the wire is a fixed 32-byte binary header followed by a
@@ -143,6 +161,8 @@ type frame struct {
 	Err    string // transport-level failure travelling back to the caller
 	Tag    string // hello only: the dialer's config fingerprint
 	Digest uint64 // hello only: the frozen binary codec set (transport.WireDigest)
+	Epoch  int64  // hello only: membership epoch (-1 = wildcard, adopt the peer's)
+	Lease  int64  // hello only: lease term in nanoseconds (must agree)
 	M      transport.Msg
 }
 
@@ -223,9 +243,13 @@ func encodeFrame(f *frame, forceGob bool) (outFrame, error) {
 		kind = bodyHello
 		b = transport.AppendUvarint(b, uint64(len(f.Tag)))
 		b = append(b, f.Tag...)
-		var dig [8]byte
-		binary.LittleEndian.PutUint64(dig[:], f.Digest)
-		b = append(b, dig[:]...)
+		var u64 [8]byte
+		binary.LittleEndian.PutUint64(u64[:], f.Digest)
+		b = append(b, u64[:]...)
+		binary.LittleEndian.PutUint64(u64[:], uint64(f.Epoch))
+		b = append(b, u64[:]...)
+		binary.LittleEndian.PutUint64(u64[:], uint64(f.Lease))
+		b = append(b, u64[:]...)
 		b = transport.AppendUvarint(b, uint64(len(f.Err)))
 		b = append(b, f.Err...)
 	}
@@ -314,6 +338,8 @@ func readFrame(r io.Reader) (*frame, error) {
 		wr := transport.NewWireReader(body)
 		f.Tag = string(wr.Bytes(wr.Count(1)))
 		f.Digest = binary.LittleEndian.Uint64(wr.Bytes(8))
+		f.Epoch = int64(binary.LittleEndian.Uint64(wr.Bytes(8)))
+		f.Lease = int64(binary.LittleEndian.Uint64(wr.Bytes(8)))
 		f.Err = string(wr.Bytes(wr.Count(1)))
 		if err := wr.Close(); err != nil {
 			return nil, fmt.Errorf("tcp: malformed hello: %w", err)
@@ -361,6 +387,23 @@ type end struct {
 
 	byeOnce sync.Once
 	bye     chan struct{}
+
+	// lastHeard is the time (unix nanos) a frame last arrived on this
+	// end, refreshed by the reader goroutine and read by the lease
+	// monitor. Only control-lane ends are monitored (pings flow there).
+	lastHeard int64
+}
+
+// sawBye reports whether the peer's orderly bye already arrived on this
+// end — the discriminator between a clean shutdown racing the socket
+// teardown and a genuine crash.
+func (e *end) sawBye() bool {
+	select {
+	case <-e.bye:
+		return true
+	default:
+		return false
+	}
 }
 
 // Runtime is a TCP transport endpoint implementing transport.Runtime.
@@ -376,6 +419,11 @@ type Runtime struct {
 	lanes    int  // data lanes per ordered pair (1 or 2)
 	oneSided bool // region lane present (lane index == lanes)
 	nlanes   int  // total connections per ordered pair
+	lease    time.Duration
+	faults   FaultInjector
+	epoch    int64         // membership epoch (atomic: wildcard dials adopt it)
+	closed   chan struct{} // closed by Close: stops heartbeat/monitor goroutines
+	closeOne sync.Once
 
 	// mu is the protocol state lock: bodies hold it except while blocked
 	// in a call; frame dispatch and timers take it around handlers.
@@ -419,6 +467,7 @@ type Runtime struct {
 
 	errMu    sync.Mutex
 	bodyErrs []error
+	leaseErr error // lease expiry recorded lock-free by monitorLeases
 }
 
 // New builds the endpoint: binds the local listeners, establishes the full
@@ -480,6 +529,10 @@ func New(o Options) (*Runtime, error) {
 		lanes:     lanes,
 		oneSided:  o.OneSided,
 		nlanes:    nlanes,
+		lease:     o.LeaseTerm,
+		faults:    o.Faults,
+		epoch:     o.Epoch,
+		closed:    make(chan struct{}),
 		handlers:  make([]transport.Handler, o.Procs),
 		calls:     make(map[uint64]*callState),
 		regCalls:  make(map[uint64]*regionCall),
@@ -546,59 +599,81 @@ func (rt *Runtime) connectMesh() error {
 	ch := make(chan res, rt.procs*rt.procs*rt.nlanes)
 
 	// Accept side: every hosted node accepts from higher-numbered peers.
+	// Each accepted connection handshakes on its own goroutine under a
+	// read deadline, so a connecter that never sends hello (or sends
+	// garbage) is dropped without stalling the accept loop or failing the
+	// mesh — it simply never counts toward the expected bundle.
 	for li, id := range rt.local {
 		want := (rt.procs - 1 - id) * rt.nlanes
 		expect += want
 		l := rt.listeners[li]
 		id := id
 		go func() {
-			for k := 0; k < want; k++ {
+			for {
 				conn, err := l.Accept()
 				if err != nil {
-					ch <- res{err: fmt.Errorf("tcp: node %d accept: %w", id, err)}
-					return
+					return // listener closed (mesh done or torn down)
 				}
-				conn.SetReadDeadline(time.Now().Add(rt.dialT))
-				hello, err := readFrame(conn)
-				if err != nil {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d reading hello: %w", id, err)}
-					return
-				}
-				if hello.Op != opHello || hello.To != id {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("tcp: node %d received a frame addressed to node %d (op %d) instead of a hello — check that every participant uses the same -addrs order", id, hello.To, hello.Op)}
-					return
-				}
-				ack := &frame{Op: opHello, From: id, To: hello.From, Idx: rt.nlanes,
-					Tag: rt.fprnt, Digest: transport.WireDigest()}
-				switch {
-				case hello.Tag != "" && rt.fprnt != "" && hello.Tag != rt.fprnt:
-					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
-						id, hello.From, rt.fprnt, hello.Tag)
-				case hello.Digest != transport.WireDigest():
-					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
-						id, hello.From, transport.WireDigest(), hello.Digest)
-				case hello.Idx < 0 || hello.Idx >= rt.nlanes:
-					ack.Err = fmt.Sprintf("tcp: node %d: peer node %d opened lane %d but this endpoint runs %d connections per pair — every participant must use the same -lanes and -onesided settings",
-						id, hello.From, hello.Idx, rt.nlanes)
-				}
-				if of, err := encodeFrame(ack, rt.forceGob); err == nil {
-					writeOut(conn, of)
-				}
-				if ack.Err != "" {
-					conn.Close()
-					ch <- res{err: fmt.Errorf("%s", ack.Err)}
-					return
-				}
-				conn.SetReadDeadline(time.Time{})
-				ch <- res{e: rt.newEnd(id, hello.From, hello.Idx, conn)}
+				go func(conn net.Conn) {
+					conn.SetReadDeadline(time.Now().Add(rt.dialT))
+					hello, err := readFrame(conn)
+					if err != nil {
+						conn.Close() // silent or malformed connecter: not a peer
+						return
+					}
+					if hello.Op != opHello || hello.To != id {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("tcp: node %d received a frame addressed to node %d (op %d) instead of a hello — check that every participant uses the same -addrs order", id, hello.To, hello.Op)}
+						return
+					}
+					ack := &frame{Op: opHello, From: id, To: hello.From, Idx: rt.nlanes,
+						Tag: rt.fprnt, Digest: transport.WireDigest(), Lease: int64(rt.lease)}
+					ourEpoch := atomic.LoadInt64(&rt.epoch)
+					switch {
+					case hello.Tag != "" && rt.fprnt != "" && hello.Tag != rt.fprnt:
+						ack.Err = fmt.Sprintf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
+							id, hello.From, rt.fprnt, hello.Tag)
+					case hello.Digest != transport.WireDigest():
+						ack.Err = fmt.Sprintf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
+							id, hello.From, transport.WireDigest(), hello.Digest)
+					case hello.Idx < 0 || hello.Idx >= rt.nlanes:
+						ack.Err = fmt.Sprintf("tcp: node %d: peer node %d opened lane %d but this endpoint runs %d connections per pair — every participant must use the same -lanes and -onesided settings",
+							id, hello.From, hello.Idx, rt.nlanes)
+					case hello.Lease != int64(rt.lease):
+						ack.Err = fmt.Sprintf("tcp: node %d: peer node %d uses lease term %v, ours %v — every participant must use the same -lease",
+							id, hello.From, time.Duration(hello.Lease), rt.lease)
+					case hello.Epoch != -1 && ourEpoch != -1 && hello.Epoch != ourEpoch:
+						ack.Err = fmt.Sprintf("tcp: node %d: peer node %d is at membership epoch %d, ours %d — a stale process from a previous incarnation must not rejoin",
+							id, hello.From, hello.Epoch, ourEpoch)
+					}
+					if ack.Err == "" && ourEpoch == -1 && hello.Epoch != -1 {
+						// Recovering endpoint: adopt the established epoch.
+						atomic.CompareAndSwapInt64(&rt.epoch, -1, hello.Epoch)
+					}
+					ack.Epoch = atomic.LoadInt64(&rt.epoch)
+					if of, err := encodeFrame(ack, rt.forceGob); err == nil {
+						writeOut(conn, of)
+					}
+					if ack.Err != "" {
+						conn.Close()
+						ch <- res{err: fmt.Errorf("%s", ack.Err)}
+						return
+					}
+					conn.SetReadDeadline(time.Time{})
+					ch <- res{e: rt.newEnd(id, hello.From, hello.Idx, conn)}
+				}(conn)
 			}
 		}()
 	}
 
 	// Dial side: every hosted node dials every lower-numbered peer, once
-	// per lane.
+	// per lane. The whole dial+handshake sequence retries with exponential
+	// backoff until the dial deadline: peers come up in any order, and
+	// during recovery a dial can land on a peer's dying previous
+	// incarnation, which resets the connection mid-handshake and clears
+	// once the peer re-meshes. Handshake rejections (wrong configuration,
+	// stale epoch) are immediately fatal — recovery drivers that expect
+	// teardown races retry mesh formation as a whole.
 	for _, id := range rt.local {
 		for peer := 0; peer < id; peer++ {
 			for lane := 0; lane < rt.nlanes; lane++ {
@@ -606,61 +681,22 @@ func (rt *Runtime) connectMesh() error {
 				id, peer, lane := id, peer, lane
 				go func() {
 					deadline := time.Now().Add(rt.dialT)
-					var conn net.Conn
-					var err error
+					backoff := 10 * time.Millisecond
 					for {
-						conn, err = net.DialTimeout("tcp", rt.addrs[peer], time.Second)
-						if err == nil || time.Now().After(deadline) {
-							break
+						e, fatal, err := rt.dialLane(id, peer, lane)
+						if err == nil {
+							ch <- res{e: e}
+							return
 						}
-						time.Sleep(100 * time.Millisecond)
+						if fatal || time.Now().After(deadline) {
+							ch <- res{err: err}
+							return
+						}
+						time.Sleep(backoff)
+						if backoff *= 2; backoff > time.Second {
+							backoff = time.Second
+						}
 					}
-					if err != nil {
-						ch <- res{err: fmt.Errorf("tcp: node %d dial node %d (%s): %w", id, peer, rt.addrs[peer], err)}
-						return
-					}
-					of, err := encodeFrame(&frame{Op: opHello, From: id, To: peer, Idx: lane,
-						Tag: rt.fprnt, Digest: transport.WireDigest()}, rt.forceGob)
-					if err == nil {
-						err = writeOut(conn, of)
-					}
-					if err != nil {
-						conn.Close()
-						ch <- res{err: fmt.Errorf("tcp: node %d hello to node %d: %w", id, peer, err)}
-						return
-					}
-					conn.SetReadDeadline(time.Now().Add(rt.dialT))
-					ack, err := readFrame(conn)
-					if err != nil || ack.Op != opHello {
-						conn.Close()
-						ch <- res{err: fmt.Errorf("tcp: node %d: no hello ack from node %d: %v", id, peer, err)}
-						return
-					}
-					if ack.Err != "" {
-						conn.Close()
-						ch <- res{err: fmt.Errorf("tcp: node %d: node %d rejected the mesh: %s", id, peer, ack.Err)}
-						return
-					}
-					if ack.Tag != "" && rt.fprnt != "" && ack.Tag != rt.fprnt {
-						conn.Close()
-						ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
-							id, peer, rt.fprnt, ack.Tag)}
-						return
-					}
-					if ack.Digest != transport.WireDigest() {
-						conn.Close()
-						ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
-							id, peer, transport.WireDigest(), ack.Digest)}
-						return
-					}
-					if ack.Idx != rt.nlanes {
-						conn.Close()
-						ch <- res{err: fmt.Errorf("tcp: node %d: peer node %d runs %d connections per pair, ours %d — every participant must use the same -lanes and -onesided settings",
-							id, peer, ack.Idx, rt.nlanes)}
-						return
-					}
-					conn.SetReadDeadline(time.Time{})
-					ch <- res{e: rt.newEnd(id, peer, lane, conn)}
 				}()
 			}
 		}
@@ -701,12 +737,78 @@ func (rt *Runtime) connectMesh() error {
 	return nil
 }
 
+// dialLane performs one dial+handshake attempt for a lane connection.
+// fatal distinguishes handshake rejections and mismatches (wrong
+// fingerprint, codec set, lane count, lease term, stale epoch) from
+// transient connection-level conditions the caller should retry: the peer
+// not listening yet, or its dying previous incarnation resetting the
+// connection mid-handshake.
+func (rt *Runtime) dialLane(id, peer, lane int) (e *end, fatal bool, err error) {
+	conn, err := net.DialTimeout("tcp", rt.addrs[peer], time.Second)
+	if err != nil {
+		return nil, false, fmt.Errorf("tcp: node %d dial node %d (%s): %w", id, peer, rt.addrs[peer], err)
+	}
+	of, err := encodeFrame(&frame{Op: opHello, From: id, To: peer, Idx: lane,
+		Tag: rt.fprnt, Digest: transport.WireDigest(),
+		Epoch: atomic.LoadInt64(&rt.epoch), Lease: int64(rt.lease)}, rt.forceGob)
+	if err == nil {
+		err = writeOut(conn, of)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("tcp: node %d hello to node %d: %w", id, peer, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(rt.dialT))
+	ack, err := readFrame(conn)
+	if err != nil || ack.Op != opHello {
+		conn.Close()
+		return nil, false, fmt.Errorf("tcp: node %d: no hello ack from node %d: %v", id, peer, err)
+	}
+	if ack.Err != "" {
+		conn.Close()
+		return nil, true, fmt.Errorf("tcp: node %d: node %d rejected the mesh: %s", id, peer, ack.Err)
+	}
+	if ack.Tag != "" && rt.fprnt != "" && ack.Tag != rt.fprnt {
+		conn.Close()
+		return nil, true, fmt.Errorf("tcp: node %d: peer node %d runs a different configuration: ours %q, theirs %q",
+			id, peer, rt.fprnt, ack.Tag)
+	}
+	if ack.Digest != transport.WireDigest() {
+		conn.Close()
+		return nil, true, fmt.Errorf("tcp: node %d: peer node %d disagrees on the binary wire codec set (digest %x vs %x) — peers must be built from the same message definitions",
+			id, peer, transport.WireDigest(), ack.Digest)
+	}
+	if ack.Idx != rt.nlanes {
+		conn.Close()
+		return nil, true, fmt.Errorf("tcp: node %d: peer node %d runs %d connections per pair, ours %d — every participant must use the same -lanes and -onesided settings",
+			id, peer, ack.Idx, rt.nlanes)
+	}
+	if ack.Lease != int64(rt.lease) {
+		conn.Close()
+		return nil, true, fmt.Errorf("tcp: node %d: peer node %d uses lease term %v, ours %v — every participant must use the same -lease",
+			id, peer, time.Duration(ack.Lease), rt.lease)
+	}
+	ourEpoch := atomic.LoadInt64(&rt.epoch)
+	switch {
+	case ourEpoch == -1 && ack.Epoch != -1:
+		// Recovering endpoint: adopt the established epoch.
+		atomic.CompareAndSwapInt64(&rt.epoch, -1, ack.Epoch)
+	case ack.Epoch != -1 && ack.Epoch != ourEpoch:
+		conn.Close()
+		return nil, true, fmt.Errorf("tcp: node %d: peer node %d is at membership epoch %d, ours %d — a stale process from a previous incarnation must not rejoin",
+			id, peer, ack.Epoch, ourEpoch)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return rt.newEnd(id, peer, lane, conn), false, nil
+}
+
 func (rt *Runtime) newEnd(owner, peer, lane int, conn net.Conn) *end {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	e := &end{rt: rt, owner: owner, peer: peer, lane: lane, conn: conn, bye: make(chan struct{})}
 	e.qcond = sync.NewCond(&e.qmu)
+	atomic.StoreInt64(&e.lastHeard, time.Now().UnixNano())
 	return e
 }
 
@@ -761,13 +863,26 @@ func (e *end) writeLoop() {
 		e.q[0] = outFrame{}
 		e.q = e.q[1:]
 		e.qmu.Unlock()
+		// Fault injection happens here, after dequeue: the injector sees
+		// exactly the frames about to hit the socket and never runs under
+		// the state lock.
+		if inj := e.rt.faults; inj != nil {
+			if d := inj.DelayFrame(e.owner, e.peer, e.lane); d > 0 {
+				time.Sleep(d)
+			}
+			if inj.DropFrame(e.owner, e.peer, e.lane) {
+				of.fb.recycle()
+				continue
+			}
+		}
 		// One vectored write per frame: header+metadata and the payload
 		// slices go to the socket as a single writev. The pooled buffer is
 		// recycled only after the write completes (payloads alias it and
 		// live protocol data until then).
 		if err := writeOut(e.conn, of); err != nil {
-			if !e.rt.shuttingDown() {
-				e.rt.fail(fmt.Errorf("tcp: node %d write to node %d: %w", e.owner, e.peer, err))
+			if !e.rt.shuttingDown() && !e.sawBye() {
+				e.rt.fail(fmt.Errorf("tcp: node %d write to node %d: %w (%v)",
+					e.owner, e.peer, transport.ErrPeerLost{Node: e.peer}, err))
 			}
 			return
 		}
@@ -782,15 +897,24 @@ func (e *end) readLoop() {
 	for {
 		f, err := readFrame(r)
 		if err != nil {
+			// Classify before recording our own bye observation: a socket
+			// error after the peer's orderly bye is a normal teardown race,
+			// anything else means the peer crashed.
+			orderly := e.sawBye()
 			e.byeOnce.Do(func() { close(e.bye) })
-			if !e.rt.shuttingDown() {
-				e.rt.fail(fmt.Errorf("tcp: node %d lost connection to node %d: %w", e.owner, e.peer, err))
+			if !orderly && !e.rt.shuttingDown() {
+				e.rt.fail(fmt.Errorf("tcp: node %d lost connection to node %d: %w (%v)",
+					e.owner, e.peer, transport.ErrPeerLost{Node: e.peer}, err))
 			}
 			return
 		}
-		if f.Op == opBye {
+		atomic.StoreInt64(&e.lastHeard, time.Now().UnixNano())
+		switch f.Op {
+		case opBye:
 			e.byeOnce.Do(func() { close(e.bye) })
 			continue
+		case opPing:
+			continue // heartbeat: lastHeard already refreshed
 		}
 		e.rt.dispatch(f)
 	}
@@ -808,15 +932,20 @@ func (e *end) regionLoop() {
 	for {
 		f, err := readFrame(r)
 		if err != nil {
+			orderly := e.sawBye()
 			e.byeOnce.Do(func() { close(e.bye) })
-			if !rt.shuttingDown() {
-				rt.fail(fmt.Errorf("tcp: node %d lost region lane to node %d: %w", e.owner, e.peer, err))
+			if !orderly && !rt.shuttingDown() {
+				rt.fail(fmt.Errorf("tcp: node %d lost region lane to node %d: %w (%v)",
+					e.owner, e.peer, transport.ErrPeerLost{Node: e.peer}, err))
 			}
 			return
 		}
+		atomic.StoreInt64(&e.lastHeard, time.Now().UnixNano())
 		switch f.Op {
 		case opBye:
 			e.byeOnce.Do(func() { close(e.bye) })
+		case opPing:
+			// heartbeat: lastHeard already refreshed
 		case opCall:
 			var resp transport.Msg
 			var ok bool
@@ -1305,6 +1434,14 @@ func (rt *Runtime) Spawn(id int, name string, body func(p transport.Proc)) {
 func (rt *Runtime) Run() error {
 	rt.start = time.Now() // Elapsed excludes the mesh dial window and app setup
 	close(rt.runGate)
+	if rt.lease > 0 {
+		// Leases start counting now, not at mesh formation: app setup
+		// between New and Run must not eat into the first term.
+		stamp := time.Now().UnixNano()
+		rt.eachEnd(func(e *end) { atomic.StoreInt64(&e.lastHeard, stamp) })
+		go rt.heartbeat()
+		go rt.monitorLeases()
+	}
 	for id, body := range rt.bodies {
 		id, body := id, body
 		p := &proc{rt: rt, id: id}
@@ -1339,6 +1476,14 @@ func (rt *Runtime) Run() error {
 	rt.finished = true
 	failed := rt.failErr
 	rt.mu.Unlock()
+	if failed == nil {
+		// A lease expiry detected while the bodies were still running may
+		// not have reached failErr yet (fail blocks on the body-held state
+		// lock); the monitor records it lock-free so it is seen here.
+		rt.errMu.Lock()
+		failed = rt.leaseErr
+		rt.errMu.Unlock()
+	}
 
 	if failed == nil {
 		rt.goodbye()
@@ -1350,10 +1495,82 @@ func (rt *Runtime) Run() error {
 	if len(rt.bodyErrs) > 0 {
 		return rt.bodyErrs[0]
 	}
+	if failed != nil {
+		return failed
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.failErr
 }
+
+// heartbeat keeps every peer's lease on this endpoint's liveness fresh:
+// an opPing on each control-lane end every LeaseTerm/3, encoded and
+// enqueued directly — no state lock, no traffic counters (heartbeats are
+// membership overhead, not protocol traffic).
+func (rt *Runtime) heartbeat() {
+	t := time.NewTicker(rt.lease / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+		}
+		rt.eachEnd(func(e *end) {
+			if e.lane != laneControl || e.sawBye() {
+				return
+			}
+			if of, err := encodeFrame(&frame{Op: opPing, From: e.owner, To: e.peer}, rt.forceGob); err == nil {
+				e.enqueue(of)
+			}
+		})
+	}
+}
+
+// monitorLeases declares a peer dead when nothing — heartbeat or data —
+// has arrived from it on the control lane for a full lease term. This
+// catches wedged-but-connected peers (SIGSTOP, livelock) that a socket
+// error never would.
+func (rt *Runtime) monitorLeases() {
+	t := time.NewTicker(rt.lease / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		var lost *end
+		rt.eachEnd(func(e *end) {
+			if e.lane != laneControl || e.sawBye() {
+				return
+			}
+			if now-atomic.LoadInt64(&e.lastHeard) > int64(rt.lease) {
+				lost = e
+			}
+		})
+		if lost != nil {
+			err := fmt.Errorf("tcp: node %d: %w", lost.owner, transport.ErrLeaseExpired{Node: lost.peer})
+			// Record the expiry under errMu first: bodies hold the state
+			// lock while running, so fail() below may block past the run's
+			// orderly completion — Run re-checks leaseErr after the bodies
+			// finish so a detected expiry is never lost to that race.
+			rt.errMu.Lock()
+			if rt.leaseErr == nil {
+				rt.leaseErr = err
+			}
+			rt.errMu.Unlock()
+			rt.fail(err) // poison pending calls (no-op if already finished)
+			return
+		}
+	}
+}
+
+// Epoch reports the endpoint's membership epoch. For a recovering
+// endpoint built with Epoch: -1, this is the epoch adopted from the mesh
+// during the handshake.
+func (rt *Runtime) Epoch() int64 { return atomic.LoadInt64(&rt.epoch) }
 
 // goodbye flushes every send queue, announces completion to every peer,
 // and waits (bounded) until every peer has announced theirs — a node must
@@ -1390,6 +1607,7 @@ func (rt *Runtime) goodbye() {
 // Close tears down every socket and listener. Safe to call more than once;
 // Run calls it on the way out.
 func (rt *Runtime) Close() {
+	rt.closeOne.Do(func() { close(rt.closed) })
 	for _, l := range rt.listeners {
 		l.Close()
 	}
@@ -1416,7 +1634,10 @@ func (rt *Runtime) fail(err error) {
 }
 
 func (rt *Runtime) failLocked(err error) {
-	if rt.failErr != nil {
+	// A run that already completed orderly cannot be failed retroactively:
+	// teardown noise (late lease expiry, peers closing sockets) arriving
+	// after the last body returned is not this run's failure.
+	if rt.failErr != nil || rt.finished {
 		return
 	}
 	rt.failErr = err

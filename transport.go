@@ -113,6 +113,21 @@ type TCPConfig struct {
 	// release or ownership grant. Every participant of a multi-process
 	// run must use the same value.
 	Lanes int
+	// Epoch is the membership epoch of this mesh incarnation. Every
+	// participant must be at the same epoch; survivors of a node loss
+	// re-mesh at epoch+1 so a stale process from the dead incarnation
+	// cannot rejoin. -1 is the recovering-node wildcard (`dsmnode
+	// -recover`): it adopts the epoch of the peers it meshes with.
+	Epoch int64
+	// LeaseTerm enables membership leases: endpoints heartbeat each peer
+	// on the control lane and a peer silent for a full term is declared
+	// dead (Run returns ErrLeaseExpired) even if its socket still looks
+	// open. Zero disables leases — loss is then detected only by
+	// connection errors (ErrPeerLost). All participants must agree.
+	LeaseTerm time.Duration
+	// Faults, when non-nil, perturbs outgoing frames for fault-injection
+	// tests. Zero (nil) leaves the data plane untouched.
+	Faults FrameFaults
 	// NoOneSided disables the one-sided region-read path. The zero value
 	// enables it: each pair gets one extra connection (the region lane)
 	// and clean page fetches are served straight from the peer's
@@ -121,6 +136,19 @@ type TCPConfig struct {
 	// falls back to the ordinary handler path. Every participant must
 	// use the same value.
 	NoOneSided bool
+}
+
+// FrameFaults perturbs the TCP transport's outgoing frames for
+// fault-injection tests: drop a frame, or delay it before the socket
+// write. Hooks run on writer goroutines (never under protocol locks) and
+// must be safe for concurrent use.
+type FrameFaults interface {
+	// DropFrame reports whether the frame from->to on the given lane
+	// should be silently discarded.
+	DropFrame(from, to, lane int) bool
+	// DelayFrame returns an extra delay to impose before writing the
+	// frame (0 = none).
+	DelayFrame(from, to, lane int) time.Duration
 }
 
 // RunFingerprint builds the canonical configuration fingerprint the CLIs
@@ -154,6 +182,9 @@ func (cfg Config) runtimeFactory() core.RuntimeFactory {
 			ForceGob:    tc.ForceGob,
 			Lanes:       tc.Lanes,
 			OneSided:    !tc.NoOneSided,
+			Epoch:       tc.Epoch,
+			LeaseTerm:   tc.LeaseTerm,
+			Faults:      tc.Faults,
 		})
 		if err != nil {
 			panic(transportError{fmt.Errorf("adsm: tcp transport: %w", err)})

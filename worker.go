@@ -39,6 +39,20 @@ func (w *Worker) Unlock(id int) { w.n.Release(id) }
 // Barrier waits for all processors and makes all prior writes visible.
 func (w *Worker) Barrier() { w.n.Barrier() }
 
+// BarrierCkpt is Barrier plus a durable checkpoint of the step just
+// finished: each node snapshots the dirty pages of its partition, ships
+// the delta to its ring buddy, and commits with one extra barrier round.
+// All processors must call it at the same step. Without checkpoint stores
+// (see RunRecoverable) it is a plain Barrier.
+func (w *Worker) BarrierCkpt(step int) { w.n.BarrierCkpt(int64(step)) }
+
+// RecoverSync is the collective first call of a recovering incarnation:
+// it agrees on the newest recoverable checkpoint, restores it, and
+// returns the recovered step (-1 when nothing was checkpointed). Resume
+// the step loop at the returned step + 1. RunRecoverable calls it for
+// you.
+func (w *Worker) RecoverSync() int { return int(w.n.RecoverSync()) }
+
 // Prefetch declares that the given windows — typically of several
 // different shared arrays — are about to be read, batching all of their
 // invalid pages into one planned Multicall (the multi-range form of
